@@ -1,0 +1,118 @@
+"""Fig. 2 — multi-resource consumption of GPT-2 execution plans.
+
+The paper trains GPT-2 (global batch 16) on the minimum number of A800 GPUs
+per plan and reports the consumption of each resource type (GPU, CPU, host
+memory, network bandwidth) normalized to the highest value.  Expected shape:
+ZeRO-Offload uses the most CPUs and host memory; TP uses the most bandwidth
+with roughly the same GPUs; DP-family plans are balanced.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.cluster import PAPER_CLUSTER
+from repro.models import GPT2
+from repro.perfmodel import ResourceShape
+from repro.perfmodel.components import (
+    comm_volume_dp,
+    comm_volume_pp,
+    comm_volume_tp,
+    offload_volume,
+)
+from repro.plans import ZeroStage, enumerate_plans, estimate_memory
+from repro.units import GB
+
+BUDGET = PAPER_CLUSTER.node.usable_gpu_mem
+
+
+def _min_gpu_config(testbed, predicate, offload_cpus: int = 10):
+    """Smallest GPU count at which a plan matching ``predicate`` launches.
+
+    ZeRO-Offload runs with its natural CPU allotment (the paper's Fig. 2
+    normalizes against 10 CPUs); other plans take 1 dataloader CPU per GPU.
+    """
+    for gpus in range(1, 9):
+        for plan in enumerate_plans(
+            GPT2, 16, gpus, min_gpus_per_node=gpus, gpu_mem_budget=BUDGET
+        ):
+            if not predicate(plan):
+                continue
+            cpus = offload_cpus if plan.uses_offload else gpus
+            shape = ResourceShape.packed(gpus, cpus=cpus)
+            if testbed.is_feasible(GPT2, plan, shape, 16):
+                return plan, shape
+    return None, None
+
+
+def _profile(testbed, plan, shape):
+    """(gpus, cpus, host GB, bandwidth GB/s) consumed by a plan."""
+    est = estimate_memory(GPT2, plan, 16)
+    iter_time = testbed.true_iter_time(GPT2, plan, shape, 16)
+    volume = (
+        comm_volume_dp(GPT2, plan)
+        + comm_volume_tp(GPT2, plan, 16)
+        + comm_volume_pp(GPT2, plan, 16)
+        + offload_volume(GPT2, plan)
+    )
+    bandwidth = volume / iter_time
+    # CPU demand: dataloader core per GPU; the offloaded optimizer wants the
+    # cores it was given (the shape's allocation).
+    cpus = shape.cpus if plan.uses_offload else plan.num_gpus
+    return plan.num_gpus, cpus, est.host_total / GB, bandwidth / GB
+
+
+PLAN_PREDICATES = [
+    ("DP", lambda p: p.family == "DP"),
+    ("TP", lambda p: p.family == "TP"),
+    ("PP", lambda p: p.family == "PP"),
+    ("DP+GA", lambda p: p.family == "DP+GA"),
+    ("DP+GC", lambda p: p.family == "DP+GC"),
+    ("ZeRO-DP", lambda p: p.zero == ZeroStage.ZERO_DP and not p.gc),
+    ("ZeRO-Offload", lambda p: p.uses_offload and not p.gc),
+    ("ZeRO-Offload+GA", lambda p: p.uses_offload and p.ga_steps > 1),
+]
+
+
+def test_fig02_resource_profiles(benchmark, testbed):
+    def experiment():
+        rows = []
+        for name, predicate in PLAN_PREDICATES:
+            plan, shape = _min_gpu_config(testbed, predicate)
+            if plan is None:
+                rows.append((name, None))
+                continue
+            rows.append((name, _profile(testbed, plan, shape)))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    present = [(n, p) for n, p in rows if p is not None]
+    assert present, "no feasible GPT-2 plans found"
+    max_vals = [max(p[i] for _, p in present) for i in range(4)]
+    table = []
+    profiles = {}
+    for name, profile in present:
+        norm = [v / m if m else 0.0 for v, m in zip(profile, max_vals)]
+        profiles[name] = norm
+        table.append(
+            (name, profile[0], profile[1], f"{profile[2]:.1f}", f"{profile[3]:.1f}",
+             f"{norm[0]:.2f}", f"{norm[1]:.2f}", f"{norm[2]:.2f}", f"{norm[3]:.2f}")
+        )
+    print()
+    print(
+        format_table(
+            ["plan", "GPUs", "CPUs", "mem GB", "BW GB/s",
+             "nGPU", "nCPU", "nMem", "nBW"],
+            table,
+            title="Fig. 2 — GPT-2 resource consumption per plan "
+            "(normalized to column max)",
+        )
+    )
+
+    # Paper shape assertions: offload dominates CPU and host memory; TP
+    # dominates bandwidth among the non-offload plans.
+    assert profiles["ZeRO-Offload"][1] == 1.0 or profiles["ZeRO-Offload+GA"][1] == 1.0
+    assert profiles["ZeRO-Offload"][2] == 1.0 or profiles["ZeRO-Offload+GA"][2] == 1.0
+    non_offload = {n: p for n, p in profiles.items() if "Offload" not in n}
+    assert max(non_offload, key=lambda n: non_offload[n][3]) in ("TP", "PP")

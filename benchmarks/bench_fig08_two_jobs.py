@@ -1,0 +1,99 @@
+"""Fig. 8 — maximizing aggregate throughput across two jobs on 4 GPUs.
+
+A RoBERTa job and a T5 job share 4 GPUs.  The "simple" scheduler splits them
+2/2 (with plan reconfiguration allowed); Rubick recognizes T5 gains more from
+GPUs and splits 3/1 (paper) — aggregate speedup 1.44 vs 0.78 (85% better).
+Speedups are normalized to each job's rigid plan on the full 4 GPUs.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.cluster import single_node_cluster
+from repro.models import ROBERTA, T5
+from repro.oracle import SyntheticTestbed, build_perf_model
+from repro.perfmodel import ResourceShape
+from repro.scheduler import PerfModelStore, SensitivityAnalyzer
+
+
+def _baseline(testbed, analyzer, model):
+    """Rigid reference: the model's best plan on all 4 GPUs."""
+    shape = ResourceShape.packed(4, node_size=4, cpus=16)
+    best = analyzer.best_for_shape(model, model.global_batch_size, shape)
+    assert best is not None
+    return testbed.true_throughput(model, best.plan, shape, model.global_batch_size)
+
+
+def _speedup_for_split(testbed, analyzer, split):
+    """Aggregate normalized speedup for a (roberta_gpus, t5_gpus) split."""
+    total = 0.0
+    parts = {}
+    for model, gpus in ((ROBERTA, split[0]), (T5, split[1])):
+        if gpus == 0:
+            parts[model.name] = 0.0
+            continue
+        shape = ResourceShape.packed(gpus, node_size=4, cpus=gpus * 4)
+        best = analyzer.best_for_shape(model, model.global_batch_size, shape)
+        if best is None:
+            parts[model.name] = 0.0
+            continue
+        thr = testbed.true_throughput(
+            model, best.plan, shape, model.global_batch_size
+        )
+        speedup = thr / _baseline(testbed, analyzer, model)
+        parts[model.name] = speedup
+        total += speedup
+    return total, parts
+
+
+def test_fig08_two_job_throughput(benchmark):
+    from conftest import BENCH_SEED
+
+    cluster = single_node_cluster(4)
+    testbed = SyntheticTestbed(cluster, seed=BENCH_SEED)
+    store = PerfModelStore()
+    for model in (ROBERTA, T5):
+        perf, _ = build_perf_model(
+            testbed, model, model.global_batch_size, max_gpus=4, seed=BENCH_SEED
+        )
+        store.add(perf)
+    analyzer = SensitivityAnalyzer(store, cluster)
+
+    def experiment():
+        simple_total, simple_parts = _speedup_for_split(testbed, analyzer, (2, 2))
+        # Rubick's policy: pick the split with the best predicted aggregate
+        # normalized speedup (the sensitivity-curve comparison of §5.2).
+        best_split, best_total, best_parts = None, -1.0, None
+        for roberta_gpus in range(0, 5):
+            split = (roberta_gpus, 4 - roberta_gpus)
+            total, parts = _speedup_for_split(testbed, analyzer, split)
+            if total > best_total:
+                best_split, best_total, best_parts = split, total, parts
+        return simple_total, simple_parts, best_split, best_total, best_parts
+
+    simple_total, simple_parts, split, total, parts = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["scheduler", "RoBERTa", "T5", "overall"],
+            [
+                ("Rubick", f"{parts['roberta']:.2f}", f"{parts['t5-1.2b']:.2f}",
+                 f"{total:.2f}"),
+                ("Simple", f"{simple_parts['roberta']:.2f}",
+                 f"{simple_parts['t5-1.2b']:.2f}", f"{simple_total:.2f}"),
+            ],
+            title=f"Fig. 8 — two-job speedups on 4 GPUs (Rubick split "
+            f"RoBERTa={split[0]}, T5={split[1]})",
+        )
+    )
+    # Shape: Rubick's sensitivity-aware split is never worse than the even
+    # split, and the winning split never starves T5 (the more GPU-hungry
+    # model).  The paper's testbed showed a strictly uneven 3/1 optimum; on
+    # our synthetic testbed the two jobs scale near-linearly at this size so
+    # the even split can tie (recorded in EXPERIMENTS.md).
+    assert total >= simple_total - 1e-9, (
+        f"Rubick {total:.2f} vs simple {simple_total:.2f}"
+    )
+    assert split[1] >= split[0], "T5 should receive at least as many GPUs"

@@ -1,0 +1,75 @@
+"""Fig. 10 — Rubick's gain over Synergy grows with cluster load.
+
+The same jobs arrive 0.5×/1×/1.5×/2× as fast; avg JCT and makespan are
+compared.  Expected shape: Rubick wins at every load, with the JCT gain
+generally increasing with load (paper: up to 3.5× JCT, 1.4× makespan).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, run_once
+
+from repro.analysis import format_table
+from repro.cluster import PAPER_CLUSTER
+from repro.oracle import SyntheticTestbed
+from repro.scheduler import rubick
+from repro.scheduler.baselines import SynergyPolicy
+from repro.sim import Simulator, WorkloadConfig, generate_trace
+
+LOADS = (0.5, 0.75, 1.0, 1.5)
+NUM_JOBS = 90
+
+
+def test_fig10_load_sweep(benchmark):
+    testbed = SyntheticTestbed(PAPER_CLUSTER, seed=BENCH_SEED)
+    base = generate_trace(
+        WorkloadConfig(num_jobs=NUM_JOBS, seed=BENCH_SEED, name="load"), testbed
+    )
+
+    def experiment():
+        out = []
+        for load in LOADS:
+            trace = base.scaled_load(load)
+            results = {}
+            for make in (rubick, SynergyPolicy):
+                policy = make()
+                sim = Simulator(
+                    PAPER_CLUSTER,
+                    policy,
+                    testbed=SyntheticTestbed(PAPER_CLUSTER, seed=BENCH_SEED),
+                    seed=BENCH_SEED,
+                )
+                results[policy.name] = sim.run(trace)
+            out.append((load, results))
+        return out
+
+    out = run_once(benchmark, experiment)
+    rows = []
+    gains = []
+    for load, results in out:
+        ru, sy = results["rubick"], results["synergy"]
+        gain = sy.avg_jct() / ru.avg_jct()
+        gains.append(gain)
+        rows.append(
+            (
+                f"{load:g}x",
+                f"{ru.avg_jct_hours():.2f}",
+                f"{sy.avg_jct_hours():.2f}",
+                f"{gain:.2f}x",
+                f"{sy.makespan / ru.makespan:.2f}x",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["load", "Rubick avg JCT h", "Synergy avg JCT h",
+             "JCT gain", "makespan gain"],
+            rows,
+            title="Fig. 10 — performance vs cluster load",
+        )
+    )
+    # Rubick wins at every load in this range.  Divergence from the paper:
+    # our synthetic base trace is already near saturation at 1x, so the gain
+    # peaks at moderate load instead of rising monotonically (see
+    # EXPERIMENTS.md).
+    assert all(g > 1.0 for g in gains)

@@ -1,0 +1,56 @@
+"""§7.3 "System overheads" — reconfiguration and profiling cost accounting.
+
+The paper reports: average reconfiguration time per job 78 s, total
+reconfiguration ≈ 1% of GPU-hours, and ~210 s of profiling per model type
+(7 sampled runs on an 8-GPU server).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, run_once
+
+from repro.analysis import format_table
+from repro.cluster import PAPER_CLUSTER
+from repro.models import GPT2
+from repro.oracle import (
+    SyntheticTestbed,
+    default_profile_configs,
+    profiling_cost_seconds,
+)
+from repro.scheduler import rubick
+from repro.sim import Simulator, WorkloadConfig, generate_trace
+
+
+def test_overheads(benchmark):
+    testbed = SyntheticTestbed(PAPER_CLUSTER, seed=BENCH_SEED)
+    trace = generate_trace(
+        WorkloadConfig(num_jobs=100, seed=BENCH_SEED, name="overheads"), testbed
+    )
+
+    def experiment():
+        sim = Simulator(
+            PAPER_CLUSTER,
+            rubick(),
+            testbed=SyntheticTestbed(PAPER_CLUSTER, seed=BENCH_SEED),
+            seed=BENCH_SEED,
+        )
+        return sim.run(trace)
+
+    res = run_once(benchmark, experiment)
+    configs = default_profile_configs(testbed, GPT2, 16)
+    rows = [
+        ("avg reconfiguration seconds / job", f"{res.avg_reconfig_seconds_per_job:.0f}"),
+        ("avg reconfigurations / job", f"{res.avg_reconfig_count:.2f}"),
+        ("reconfiguration share of GPU-hours", f"{res.reconfig_gpu_hour_fraction:.2%}"),
+        ("profiling runs per model type", f"{len(configs)}"),
+        ("profiling seconds per model type", f"{profiling_cost_seconds(len(configs)):.0f}"),
+        ("scheduler wall-clock per invocation (ms)",
+         f"{1000 * res.policy_wall_seconds / max(res.policy_invocations, 1):.0f}"),
+    ]
+    print()
+    print(format_table(["overhead", "value"], rows, title="§7.3 system overheads"))
+
+    # Paper band: reconfiguration stays a small fraction of GPU time, and
+    # profiling stays within a few minutes per model type.
+    assert res.reconfig_gpu_hour_fraction < 0.05
+    assert profiling_cost_seconds(len(configs)) <= 330

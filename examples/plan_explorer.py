@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Plan explorer: enumerate feasible execution plans and memory footprints.
+
+For a chosen model and GPU count, list every structurally valid plan, its
+estimated per-GPU memory breakdown, whether it fits an A800, and the
+testbed's throughput — the raw material behind Rubick's plan decisions.
+
+Run:  python examples/plan_explorer.py [model] [gpus]
+      python examples/plan_explorer.py llama2-7b 8
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import PAPER_CLUSTER, ResourceShape, SyntheticTestbed, get_model
+from repro.analysis import format_table
+from repro.plans import enumerate_plans, estimate_memory
+from repro.units import GiB
+
+
+def main(model_name: str = "llama2-7b", gpus: int = 8) -> None:
+    model = get_model(model_name)
+    batch = model.global_batch_size
+    testbed = SyntheticTestbed(PAPER_CLUSTER, seed=42)
+    budget = PAPER_CLUSTER.node.usable_gpu_mem
+    shape = ResourceShape.packed(gpus, cpus=gpus * 4)
+
+    plans = enumerate_plans(
+        model, batch, gpus, min_gpus_per_node=shape.min_gpus_per_node
+    )
+    rows = []
+    for plan in plans:
+        est = estimate_memory(model, plan, batch)
+        fits = est.gpu_total <= budget
+        thr = "-"
+        if fits and testbed.is_feasible(model, plan, shape, batch):
+            thr = f"{testbed.true_throughput(model, plan, shape, batch):.1f}"
+        rows.append(
+            (
+                plan.describe(),
+                f"{est.weights / GiB:.1f}",
+                f"{est.optimizer / GiB:.1f}",
+                f"{est.activations / GiB:.1f}",
+                f"{est.gpu_total / GiB:.1f}",
+                "yes" if fits else "OOM",
+                thr,
+            )
+        )
+    rows.sort(key=lambda r: (r[5] != "yes", -float(r[6]) if r[6] != "-" else 0))
+    print(
+        format_table(
+            ["plan", "weights GiB", "optim GiB", "acts GiB",
+             "total GiB/GPU", "fits A800?", "thr ex/s"],
+            rows,
+            title=f"{model.display_name} on {gpus} GPUs "
+            f"(global batch {batch}, 80 GB A800)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "llama2-7b"
+    gpus = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    main(name, gpus)

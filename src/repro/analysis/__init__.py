@@ -1,0 +1,10 @@
+"""Reporting utilities for benches, examples and EXPERIMENTS.md."""
+
+from repro.analysis.report import (
+    format_series,
+    format_table,
+    normalize_to_first,
+    ratio,
+)
+
+__all__ = ["format_series", "format_table", "normalize_to_first", "ratio"]

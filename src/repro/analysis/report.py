@@ -1,0 +1,80 @@
+"""ASCII reporting helpers used by the benchmarks and examples.
+
+Every benchmark regenerates a paper table/figure as text; these helpers keep
+the formatting consistent (fixed-width tables, normalized "1×/2.6×" ratio
+columns, simple sparkline-style series for figures).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ratio(value: float, reference: float) -> str:
+    """Paper-style normalized ratio, e.g. ``(2.6x)`` (reference prints 1x)."""
+    if reference <= 0:
+        return "(n/a)"
+    return f"({value / reference:.2f}x)"
+
+
+def format_series(
+    xs: Sequence[object],
+    ys: Sequence[float],
+    *,
+    label: str = "",
+    width: int = 40,
+) -> str:
+    """Render a (x, y) series as labeled rows with proportional bars."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    top = max((abs(y) for y in ys), default=1.0) or 1.0
+    lines = [label] if label else []
+    for x, y in zip(xs, ys):
+        bar = "#" * max(int(round(width * abs(y) / top)), 0)
+        lines.append(f"  {str(x):>12s} | {y:10.3f} | {bar}")
+    return "\n".join(lines)
+
+
+def normalize_to_first(values: Sequence[float]) -> list[float]:
+    """Normalize a list so the first element becomes 1 (paper's 1× anchor)."""
+    if not values:
+        return []
+    anchor = values[0]
+    if anchor == 0:
+        return [0.0 for _ in values]
+    return [v / anchor for v in values]

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate-trace`` — build a synthetic Philly-like trace and save as JSON.
+* ``simulate``       — replay a trace (file or generated) under a scheduler.
+* ``compare``        — run several schedulers on the same trace, print a
+                       Table-4-style comparison.
+* ``profile``        — fit and print a performance model for one catalog model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import format_table
+from repro.cluster import PAPER_CLUSTER, ClusterSpec, NodeSpec
+from repro.models import get_model
+from repro.oracle import SyntheticTestbed, build_perf_model
+from repro.scheduler import rubick, rubick_e, rubick_n, rubick_r
+from repro.scheduler.baselines import (
+    AntManPolicy,
+    SiaPolicy,
+    SimpleEqualPolicy,
+    SynergyPolicy,
+)
+from repro.sim import Simulator, WorkloadConfig, generate_trace
+from repro.sim.serialization import load_trace, save_result, save_trace
+
+POLICIES = {
+    "rubick": rubick,
+    "rubick-e": rubick_e,
+    "rubick-r": rubick_r,
+    "rubick-n": rubick_n,
+    "sia": SiaPolicy,
+    "synergy": SynergyPolicy,
+    "antman": AntManPolicy,
+    "simple": SimpleEqualPolicy,
+}
+
+
+def _cluster_from_args(args) -> ClusterSpec:
+    if args.nodes == 8 and args.gpus_per_node == 8:
+        return PAPER_CLUSTER
+    return ClusterSpec(
+        num_nodes=args.nodes, node=NodeSpec(num_gpus=args.gpus_per_node)
+    )
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--gpus-per-node", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_generate_trace(args) -> int:
+    cluster = _cluster_from_args(args)
+    testbed = SyntheticTestbed(cluster, seed=args.seed)
+    config = WorkloadConfig(
+        num_jobs=args.jobs,
+        seed=args.seed,
+        span=args.span_hours * 3600.0,
+        cluster=cluster,
+        plan_assignment=args.plans,
+        name=args.name,
+    )
+    trace = generate_trace(config, testbed)
+    save_trace(trace, args.output)
+    print(
+        f"wrote {len(trace)} jobs ({trace.total_gpu_hours:.0f} GPU-h) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _run_one(policy_name: str, trace, cluster, seed: int):
+    policy = POLICIES[policy_name]()
+    sim = Simulator(
+        cluster, policy, testbed=SyntheticTestbed(cluster, seed=seed), seed=seed
+    )
+    return sim.run(trace)
+
+
+def _load_or_generate(args, cluster):
+    if args.trace:
+        return load_trace(args.trace)
+    testbed = SyntheticTestbed(cluster, seed=args.seed)
+    return generate_trace(
+        WorkloadConfig(num_jobs=args.jobs, seed=args.seed, cluster=cluster),
+        testbed,
+    )
+
+
+def cmd_simulate(args) -> int:
+    cluster = _cluster_from_args(args)
+    trace = _load_or_generate(args, cluster)
+    result = _run_one(args.policy, trace, cluster, args.seed)
+    summary = result.summary()
+    print(
+        format_table(
+            ["metric", "value"],
+            [(k, f"{v:.3f}") for k, v in summary.items()],
+            title=f"{args.policy} on {trace.name} ({len(trace)} jobs)",
+        )
+    )
+    if args.output:
+        save_result(result, args.output)
+        print(f"wrote result to {args.output}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    cluster = _cluster_from_args(args)
+    trace = _load_or_generate(args, cluster)
+    names = args.policies.split(",")
+    unknown = [n for n in names if n not in POLICIES]
+    if unknown:
+        print(f"unknown policies: {unknown}; known: {sorted(POLICIES)}")
+        return 2
+    results = [_run_one(name, trace, cluster, args.seed) for name in names]
+    ref = results[0]
+    rows = [
+        (
+            res.policy_name,
+            f"{res.avg_jct_hours():.2f} ({res.avg_jct() / ref.avg_jct():.2f}x)",
+            f"{res.p99_jct_hours():.2f}",
+            f"{res.makespan_hours:.1f}",
+            f"{res.avg_reconfig_count:.1f}",
+            len(res.sla_violations()),
+        )
+        for res in results
+    ]
+    print(
+        format_table(
+            ["scheduler", "avg JCT h", "p99 JCT h", "makespan h",
+             "reconfigs/job", "SLA violations"],
+            rows,
+            title=f"{trace.name}: {len(trace)} jobs on "
+            f"{cluster.total_gpus} GPUs",
+        )
+    )
+    return 0
+
+
+def cmd_profile(args) -> int:
+    cluster = _cluster_from_args(args)
+    testbed = SyntheticTestbed(cluster, seed=args.seed)
+    model = get_model(args.model)
+    perf, report = build_perf_model(
+        testbed, model, model.global_batch_size, seed=args.seed
+    )
+    rows = [(name, f"{value:.4g}") for name, value in zip(
+        type(perf.params).names(), perf.params.as_vector()
+    )]
+    rows.append(("t_fwd_ref (s/sample)", f"{perf.t_fwd_ref:.4g}"))
+    rows.append(("fit RMSLE", f"{report.rmsle:.4f}"))
+    rows.append(("samples", f"{report.num_samples}"))
+    print(format_table(["parameter", "value"], rows,
+                       title=f"Fitted performance model: {model.display_name}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Rubick reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate-trace", help="synthesize a workload trace")
+    _add_cluster_args(p)
+    p.add_argument("--jobs", type=int, default=160)
+    p.add_argument("--span-hours", type=float, default=12.0)
+    p.add_argument("--plans", choices=["random", "best"], default="random")
+    p.add_argument("--name", default="base")
+    p.add_argument("--output", required=True)
+    p.set_defaults(func=cmd_generate_trace)
+
+    p = sub.add_parser("simulate", help="replay a trace under one scheduler")
+    _add_cluster_args(p)
+    p.add_argument("--policy", choices=sorted(POLICIES), default="rubick")
+    p.add_argument("--trace", help="trace JSON (generated if omitted)")
+    p.add_argument("--jobs", type=int, default=80)
+    p.add_argument("--output", help="write the result JSON here")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("compare", help="run several schedulers on one trace")
+    _add_cluster_args(p)
+    p.add_argument("--policies", default="rubick,sia,synergy")
+    p.add_argument("--trace", help="trace JSON (generated if omitted)")
+    p.add_argument("--jobs", type=int, default=80)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("profile", help="fit a performance model for a model")
+    _add_cluster_args(p)
+    p.add_argument("--model", default="gpt2-1.5b")
+    p.set_defaults(func=cmd_profile)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

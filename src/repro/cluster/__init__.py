@@ -1,0 +1,22 @@
+"""Cluster substrate: resources, topology, placements and live state."""
+
+from repro.cluster.placement import Placement
+from repro.cluster.resources import ResourceVector
+from repro.cluster.state import Cluster, Node
+from repro.cluster.topology import (
+    PAPER_CLUSTER,
+    ClusterSpec,
+    NodeSpec,
+    single_node_cluster,
+)
+
+__all__ = [
+    "PAPER_CLUSTER",
+    "Cluster",
+    "ClusterSpec",
+    "Node",
+    "NodeSpec",
+    "Placement",
+    "ResourceVector",
+    "single_node_cluster",
+]

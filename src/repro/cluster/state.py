@@ -1,0 +1,148 @@
+"""Runtime cluster state: per-node allocation bookkeeping.
+
+The simulator owns one :class:`Cluster`; scheduling policies receive read
+access (free-resource queries) and the simulator applies the policies'
+placement decisions through :meth:`Cluster.apply` / :meth:`Cluster.release`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.placement import Placement
+from repro.cluster.resources import ResourceVector
+from repro.cluster.topology import ClusterSpec, NodeSpec
+from repro.errors import PlacementError
+
+
+@dataclass
+class Node:
+    """One server with live per-job allocations."""
+
+    node_id: int
+    spec: NodeSpec
+    allocations: dict[str, ResourceVector] = field(default_factory=dict)
+
+    @property
+    def capacity(self) -> ResourceVector:
+        return ResourceVector(
+            gpus=self.spec.num_gpus,
+            cpus=self.spec.num_cpus,
+            host_mem=self.spec.host_mem,
+        )
+
+    @property
+    def used(self) -> ResourceVector:
+        used = ResourceVector.zero()
+        for share in self.allocations.values():
+            used = used + share
+        return used
+
+    @property
+    def free(self) -> ResourceVector:
+        return (self.capacity - self.used).clamp_floor()
+
+    def allocate(self, job_id: str, share: ResourceVector) -> None:
+        """Add (or extend) a job's share on this node; raises if over capacity."""
+        share.require_non_negative()
+        current = self.allocations.get(job_id, ResourceVector.zero())
+        proposed = current + share
+        if not (self.used - current + proposed).fits_within(self.capacity):
+            raise PlacementError(
+                f"node {self.node_id}: allocating {share} for {job_id} "
+                f"exceeds capacity (used={self.used}, cap={self.capacity})"
+            )
+        self.allocations[job_id] = proposed
+
+    def set_allocation(self, job_id: str, share: ResourceVector) -> None:
+        """Replace a job's share on this node (removing it if zero)."""
+        current = self.allocations.pop(job_id, ResourceVector.zero())
+        if not share.is_zero:
+            if not (self.used + share).fits_within(self.capacity):
+                self.allocations[job_id] = current  # roll back
+                raise PlacementError(
+                    f"node {self.node_id}: setting {share} for {job_id} "
+                    f"exceeds capacity"
+                )
+            self.allocations[job_id] = share
+
+    def release(self, job_id: str) -> ResourceVector:
+        """Remove a job from this node, returning what it held."""
+        return self.allocations.pop(job_id, ResourceVector.zero())
+
+
+class Cluster:
+    """Live cluster: topology spec plus per-node allocation state."""
+
+    def __init__(self, spec: ClusterSpec):
+        self.spec = spec
+        self.nodes: list[Node] = [
+            Node(node_id=i, spec=spec.node) for i in range(spec.num_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> ResourceVector:
+        return ResourceVector(
+            gpus=self.spec.total_gpus,
+            cpus=self.spec.total_cpus,
+            host_mem=self.spec.total_host_mem,
+        )
+
+    @property
+    def free(self) -> ResourceVector:
+        free = ResourceVector.zero()
+        for node in self.nodes:
+            free = free + node.free
+        return free
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def placement_of(self, job_id: str) -> Placement:
+        """The placement a job currently holds (possibly empty)."""
+        shares = {
+            node.node_id: node.allocations[job_id]
+            for node in self.nodes
+            if job_id in node.allocations
+        }
+        return Placement(shares)
+
+    def jobs_on(self, node_id: int) -> list[str]:
+        return sorted(self.nodes[node_id].allocations)
+
+    def all_job_ids(self) -> set[str]:
+        ids: set[str] = set()
+        for node in self.nodes:
+            ids.update(node.allocations)
+        return ids
+
+    def gpu_utilization(self) -> float:
+        """Fraction of cluster GPUs currently allocated."""
+        total = self.spec.total_gpus
+        used = total - self.free.gpus
+        return used / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def apply(self, job_id: str, placement: Placement) -> None:
+        """Set a job's allocation to exactly ``placement`` (atomic)."""
+        previous = self.placement_of(job_id)
+        self.release(job_id)
+        try:
+            for node_id, share in placement.shares.items():
+                self.nodes[node_id].allocate(job_id, share)
+        except PlacementError:
+            # Roll back to the previous placement before re-raising so the
+            # cluster never ends up in a partially-applied state.
+            self.release(job_id)
+            for node_id, share in previous.shares.items():
+                self.nodes[node_id].allocate(job_id, share)
+            raise
+
+    def release(self, job_id: str) -> None:
+        for node in self.nodes:
+            node.release(job_id)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Rubick reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InfeasiblePlanError(ReproError):
+    """An execution plan violates a structural constraint.
+
+    Examples: tensor-parallel degree does not divide the hidden size, pipeline
+    stages do not divide the layer count, or the global batch cannot be split
+    across the requested data-parallel ranks.
+    """
+
+
+class OutOfMemoryError(ReproError):
+    """A plan's estimated memory footprint exceeds device or host capacity.
+
+    Mirrors the OOM failures a real cluster would surface when launching a job
+    with a plan that does not fit the allocated GPUs / host memory.
+    """
+
+
+class PlacementError(ReproError):
+    """A placement request cannot be satisfied by the cluster topology."""
+
+
+class FittingError(ReproError):
+    """Performance-model fitting failed or was given insufficient samples."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling policy produced an inconsistent or invalid decision."""
+
+
+class SimulationError(ReproError):
+    """The discrete-time simulator reached an inconsistent state."""

@@ -1,0 +1,26 @@
+"""Synthetic testbed oracle: the reproduction's stand-in for real GPUs."""
+
+from repro.oracle.effects import EffectCoefficients, TestbedEffects
+from repro.oracle.profiler import (
+    PROFILE_RUN_SECONDS,
+    ProfileConfig,
+    build_perf_model,
+    collect_samples,
+    default_profile_configs,
+    profiling_cost_seconds,
+)
+from repro.oracle.testbed import A800_PEAK_FLOPS, HiddenTruth, SyntheticTestbed
+
+__all__ = [
+    "A800_PEAK_FLOPS",
+    "EffectCoefficients",
+    "HiddenTruth",
+    "PROFILE_RUN_SECONDS",
+    "ProfileConfig",
+    "SyntheticTestbed",
+    "TestbedEffects",
+    "build_perf_model",
+    "collect_samples",
+    "default_profile_configs",
+    "profiling_cost_seconds",
+]

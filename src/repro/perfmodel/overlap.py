@@ -1,0 +1,36 @@
+"""The overlap-combining function of paper §4.3.
+
+``f_overlap^k(x, y) = (x^k + y^k)^(1/k)`` models two pipeline-able time spans
+sharing a window: ``k = 1`` gives no overlap (``x + y``); ``k → ∞`` tends to
+perfect overlap (``max(x, y)``).  The degree ``k`` is a fittable parameter
+(the definition is borrowed from Pollux [38], as the paper notes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: k at (or beyond) which we switch to the exact max() limit to avoid
+#: floating-point overflow in x**k.
+_MAX_K = 64.0
+
+
+def overlap(k: float, x: float, y: float) -> float:
+    """Combined duration of spans ``x`` and ``y`` with overlap degree ``k``.
+
+    Accepts ``k >= 1``; zero-length spans short-circuit (the combination of a
+    span with nothing is the span itself, for any k).
+    """
+    if k < 1.0:
+        raise ValueError(f"overlap degree k must be >= 1, got {k}")
+    if x <= 0.0:
+        return max(y, 0.0)
+    if y <= 0.0:
+        return max(x, 0.0)
+    if k >= _MAX_K:
+        return max(x, y)
+    # Factor out the larger span for numerical stability:
+    # (x^k + y^k)^(1/k) = hi * (1 + (lo/hi)^k)^(1/k)
+    hi, lo = (x, y) if x >= y else (y, x)
+    ratio = lo / hi
+    return hi * float(np.power(1.0 + np.power(ratio, k), 1.0 / k))

@@ -1,0 +1,59 @@
+"""Fittable performance-model parameters (paper Table 1, "Fittable" row).
+
+The seven parameters are:
+
+* ``k_bwd``      — backward/forward compute ratio.
+* ``k_sync``     — overlap degree of backward pass and DP gradient sync.
+* ``k_opt``      — optimizer seconds per parameter (GPU update path).
+* ``k_opt_off``  — optimizer seconds per parameter per CPU (offloaded update).
+* ``k_off``      — overlap degree of gradient sync and offload traffic.
+* ``k_swap``     — overlap degree of optimizer step and offload traffic.
+* ``k_const``    — constant per-iteration overhead (launch, dataloader, glue).
+
+Fitting needs at least seven samples, three of which must exercise
+ZeRO-Offload (paper §4.3): ``k_opt_off``/``k_off``/``k_swap`` are only
+observable under that strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class PerfParams:
+    """One point in the 7-dimensional fittable parameter space."""
+
+    k_bwd: float = 2.0
+    k_sync: float = 2.0
+    k_opt: float = 5e-11
+    k_opt_off: float = 2e-9
+    k_off: float = 2.0
+    k_swap: float = 2.0
+    k_const: float = 0.05
+
+    def as_vector(self) -> list[float]:
+        return [getattr(self, f.name) for f in fields(self)]
+
+    @staticmethod
+    def names() -> list[str]:
+        return [f.name for f in fields(PerfParams)]
+
+    @staticmethod
+    def from_vector(values: list[float] | tuple[float, ...]) -> "PerfParams":
+        names = PerfParams.names()
+        if len(values) != len(names):
+            raise ValueError(f"expected {len(names)} values, got {len(values)}")
+        return PerfParams(**dict(zip(names, (float(v) for v in values))))
+
+
+#: Lower/upper bounds per parameter, used by the fitter (log-space search).
+PARAM_BOUNDS: dict[str, tuple[float, float]] = {
+    "k_bwd": (0.3, 6.0),
+    "k_sync": (1.0, 32.0),
+    "k_opt": (1e-13, 1e-8),
+    "k_opt_off": (1e-12, 1e-6),
+    "k_off": (1.0, 32.0),
+    "k_swap": (1.0, 32.0),
+    "k_const": (1e-4, 10.0),
+}

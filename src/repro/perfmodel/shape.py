@@ -1,0 +1,90 @@
+"""Resource shapes and interconnect environment for performance prediction.
+
+The performance model does not need a full placement — only its *shape*: how
+many GPUs, spread over how many nodes (which decides whether DP/PP traffic
+crosses the slow inter-node links), the smallest per-node share (which bounds
+TP) and how many CPUs the job holds (which scales the ZeRO-Offload optimizer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.placement import Placement
+from repro.cluster.topology import ClusterSpec
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Bandwidth environment (paper Table 1, "Environment" row)."""
+
+    intra_bw: float  # NVLink, bytes/s
+    inter_bw: float  # cross-node RDMA, bytes/s
+    pcie_bw: float  # host <-> device, bytes/s
+
+    @staticmethod
+    def from_cluster(spec: ClusterSpec) -> "Interconnect":
+        return Interconnect(
+            intra_bw=spec.node.intra_bw,
+            inter_bw=spec.inter_bw,
+            pcie_bw=spec.node.pcie_bw,
+        )
+
+
+@dataclass(frozen=True)
+class ResourceShape:
+    """Shape of a job's allocation, as seen by the performance model."""
+
+    gpus: int
+    num_nodes: int
+    min_gpus_per_node: int
+    cpus: int
+
+    def __post_init__(self) -> None:
+        if self.gpus < 0 or self.cpus < 0:
+            raise ValueError(f"negative resources in shape: {self}")
+        if self.gpus > 0 and self.num_nodes < 1:
+            raise ValueError(f"GPUs without nodes: {self}")
+
+    @property
+    def spans_nodes(self) -> bool:
+        return self.num_nodes > 1
+
+    @staticmethod
+    def from_placement(placement: Placement) -> "ResourceShape":
+        total = placement.total
+        return ResourceShape(
+            gpus=total.gpus,
+            num_nodes=max(placement.num_nodes, 1 if total.gpus else 0),
+            min_gpus_per_node=placement.min_gpus_per_node,
+            cpus=total.cpus,
+        )
+
+    @staticmethod
+    def packed(
+        gpus: int, *, node_size: int = 8, cpus: int | None = None
+    ) -> "ResourceShape":
+        """Canonical densely packed shape: whole nodes first.
+
+        Used by sensitivity curves to evaluate hypothetical GPU counts before
+        a concrete placement exists.  ``cpus`` defaults to one per GPU.
+        """
+        if gpus <= 0:
+            return ResourceShape(gpus=0, num_nodes=0, min_gpus_per_node=0, cpus=0)
+        full_nodes, rem = divmod(gpus, node_size)
+        num_nodes = full_nodes + (1 if rem else 0)
+        min_share = rem if rem else min(gpus, node_size)
+        return ResourceShape(
+            gpus=gpus,
+            num_nodes=num_nodes,
+            min_gpus_per_node=min_share,
+            cpus=cpus if cpus is not None else gpus,
+        )
+
+    def with_cpus(self, cpus: int) -> "ResourceShape":
+        return ResourceShape(
+            gpus=self.gpus,
+            num_nodes=self.num_nodes,
+            min_gpus_per_node=self.min_gpus_per_node,
+            cpus=cpus,
+        )

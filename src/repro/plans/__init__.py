@@ -1,0 +1,32 @@
+"""Execution plans: representation, memory model and enumeration."""
+
+from repro.plans.enumerate import (
+    DEFAULT_SPACE,
+    DP_FAMILY_SPACE,
+    PlanSpace,
+    enumerate_plans,
+    feasible_gpu_counts,
+)
+from repro.plans.memory import (
+    MemoryEstimate,
+    estimate_memory,
+    fits_gpu,
+    host_mem_demand_per_node,
+    min_cpus_demand,
+)
+from repro.plans.plan import ExecutionPlan, ZeroStage
+
+__all__ = [
+    "DEFAULT_SPACE",
+    "DP_FAMILY_SPACE",
+    "ExecutionPlan",
+    "MemoryEstimate",
+    "PlanSpace",
+    "ZeroStage",
+    "enumerate_plans",
+    "estimate_memory",
+    "feasible_gpu_counts",
+    "fits_gpu",
+    "host_mem_demand_per_node",
+    "min_cpus_demand",
+]

@@ -1,0 +1,214 @@
+"""Execution plans: the reconfigurable training strategies of paper §2.1/§3.
+
+A plan combines Megatron-style 3D parallelism (DP × TP × PP), the ZeRO family
+(ZeRO-DP a.k.a. ZeRO-2, and ZeRO-Offload), gradient accumulation (GA) and
+gradient checkpointing (GC).  Rubick reconfigures jobs by switching between
+plans while holding the global batch size fixed.
+
+Structural rules implemented here (paper §3 "Rubick supports ..."):
+
+* ZeRO variants extend *data parallelism*: they require ``tp == pp == 1``.
+* GA applies to DP/ZeRO plans (``pp == 1``); pipeline plans micro-batch via
+  ``micro_batches`` instead.
+* GC composes with everything.
+* TP groups stay inside a node (enforced at validation time against the
+  placement's smallest per-node GPU share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import InfeasiblePlanError
+from repro.models.specs import ModelSpec
+
+
+class ZeroStage(IntEnum):
+    """Which ZeRO memory optimization the plan uses.
+
+    ``ZERO_DP`` follows the paper's default of ZeRO-2 (optimizer states and
+    gradients partitioned across DP ranks); ``OFFLOAD`` is ZeRO-Offload
+    (states and the optimizer step moved to host CPU/memory).
+    """
+
+    NONE = 0
+    ZERO_DP = 2
+    OFFLOAD = 3
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One concrete execution plan.
+
+    Attributes:
+        dp: Data-parallel size ``d`` (model replicas).
+        tp: Tensor-parallel size ``t`` (intra-layer partitions).
+        pp: Pipeline-parallel size ``p`` (layer stages).
+        zero: ZeRO stage (requires ``tp == pp == 1`` when not ``NONE``).
+        ga_steps: Gradient-accumulation steps ``a`` (``pp == 1`` plans only).
+        micro_batches: 1F1B micro-batch count ``m`` (``pp > 1`` plans only).
+        gc: Whether gradient checkpointing (activation recomputation) is on.
+    """
+
+    dp: int = 1
+    tp: int = 1
+    pp: int = 1
+    zero: ZeroStage = ZeroStage.NONE
+    ga_steps: int = 1
+    micro_batches: int = 1
+    gc: bool = False
+
+    def __post_init__(self) -> None:
+        if min(self.dp, self.tp, self.pp) < 1:
+            raise InfeasiblePlanError(f"parallel sizes must be >= 1: {self}")
+        if self.ga_steps < 1 or self.micro_batches < 1:
+            raise InfeasiblePlanError(f"GA steps / micro-batches must be >= 1: {self}")
+        if self.zero != ZeroStage.NONE and (self.tp > 1 or self.pp > 1):
+            raise InfeasiblePlanError(
+                f"ZeRO plans are DP-based and cannot combine with TP/PP: {self}"
+            )
+        if self.pp > 1 and self.ga_steps > 1:
+            raise InfeasiblePlanError(
+                f"pipeline plans micro-batch via micro_batches, not GA: {self}"
+            )
+        if self.pp == 1 and self.micro_batches > 1:
+            raise InfeasiblePlanError(
+                f"micro_batches only applies to pipeline plans: {self}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_gpus(self) -> int:
+        """Total GPUs the plan occupies (``d · t · p``, paper Table 1)."""
+        return self.dp * self.tp * self.pp
+
+    @property
+    def uses_offload(self) -> bool:
+        return self.zero == ZeroStage.OFFLOAD
+
+    @property
+    def uses_zero(self) -> bool:
+        return self.zero != ZeroStage.NONE
+
+    @property
+    def is_pure_dp_family(self) -> bool:
+        """DP/ZeRO family (no model partitioning)."""
+        return self.tp == 1 and self.pp == 1
+
+    def passes_per_iteration(self) -> int:
+        """Forward/backward passes per mini-batch (GA steps or PP micro-batches)."""
+        return self.micro_batches if self.pp > 1 else self.ga_steps
+
+    def micro_batch_size(self, global_batch: int) -> int:
+        """Per-DP-rank per-pass batch size (must divide evenly; see validate)."""
+        denom = self.dp * self.passes_per_iteration()
+        if global_batch % denom != 0:
+            raise InfeasiblePlanError(
+                f"global batch {global_batch} not divisible by dp×passes={denom} "
+                f"for {self}"
+            )
+        return global_batch // denom
+
+    # ------------------------------------------------------------------
+    # Validation against a model and placement shape
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        model: ModelSpec,
+        global_batch: int,
+        *,
+        min_gpus_per_node: int | None = None,
+    ) -> None:
+        """Raise :class:`InfeasiblePlanError` on any structural violation.
+
+        ``min_gpus_per_node`` enforces the Megatron convention that TP groups
+        stay within a node (paper §4.1: "TP is typically restricted inside
+        each node").
+        """
+        if not model.valid_tp(self.tp, node_limit=self.tp):
+            raise InfeasiblePlanError(
+                f"{model.name}: tp={self.tp} does not divide heads/hidden"
+            )
+        if not model.valid_pp(self.pp):
+            raise InfeasiblePlanError(
+                f"{model.name}: pp={self.pp} does not divide {model.num_layers} layers"
+            )
+        if min_gpus_per_node is not None and self.tp > max(min_gpus_per_node, 1):
+            raise InfeasiblePlanError(
+                f"tp={self.tp} exceeds smallest per-node GPU share "
+                f"{min_gpus_per_node} (TP must stay intra-node)"
+            )
+        # Batch divisibility (also checks dp | b).
+        self.micro_batch_size(global_batch)
+
+    def is_valid(
+        self,
+        model: ModelSpec,
+        global_batch: int,
+        *,
+        min_gpus_per_node: int | None = None,
+    ) -> bool:
+        try:
+            self.validate(
+                model, global_batch, min_gpus_per_node=min_gpus_per_node
+            )
+            return True
+        except InfeasiblePlanError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Naming (paper-style plan families for reports)
+    # ------------------------------------------------------------------
+    @property
+    def family(self) -> str:
+        """Coarse plan-family name as used in the paper's figures.
+
+        Examples: ``DP``, ``DP+GA``, ``ZeRO-DP+GA``, ``ZeRO-Offload+GC``,
+        ``TP+DP``, ``TP+PP``, ``3D``.
+        """
+        if self.uses_zero:
+            base = "ZeRO-Offload" if self.uses_offload else "ZeRO-DP"
+        elif self.is_pure_dp_family:
+            base = "DP"
+        else:
+            dims = []
+            if self.tp > 1:
+                dims.append("TP")
+            if self.pp > 1:
+                dims.append("PP")
+            if self.dp > 1:
+                dims.append("DP")
+            base = "3D" if len(dims) == 3 else "+".join(dims)
+        suffixes = []
+        if self.ga_steps > 1:
+            suffixes.append("GA")
+        if self.gc:
+            suffixes.append("GC")
+        return "+".join([base, *suffixes])
+
+    def describe(self) -> str:
+        """Full plan description with parallel sizes, e.g. ``TP(4)+PP(2)+DP(4)+GA(2)``."""
+        parts = []
+        if self.tp > 1:
+            parts.append(f"TP({self.tp})")
+        if self.pp > 1:
+            parts.append(f"PP({self.pp})")
+        if self.uses_offload:
+            parts.append(f"ZeRO-Offload({self.dp})")
+        elif self.uses_zero:
+            parts.append(f"ZeRO-DP({self.dp})")
+        elif self.dp > 1 or not parts:
+            parts.append(f"DP({self.dp})")
+        if self.pp > 1 and self.micro_batches > 1:
+            parts.append(f"m={self.micro_batches}")
+        if self.ga_steps > 1:
+            parts.append(f"GA({self.ga_steps})")
+        if self.gc:
+            parts.append("GC")
+        return "+".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Plan[{self.describe()}]"

@@ -1,0 +1,49 @@
+"""Scheduling: jobs, sensitivity curves, the Rubick policy, and baselines."""
+
+from repro.scheduler.interfaces import (
+    Allocation,
+    PerfModelStore,
+    SchedulerPolicy,
+    SchedulingContext,
+    Tenant,
+)
+from repro.scheduler.job import Job, JobPriority, JobSpec, JobStatus
+from repro.scheduler.rubick import RubickPolicy
+from repro.scheduler.selectors import (
+    BestPlanSelector,
+    FixedPlanSelector,
+    PlanSelector,
+    ScaledDpSelector,
+)
+from repro.scheduler.sensitivity import (
+    BestConfig,
+    GpuCurve,
+    SensitivityAnalyzer,
+    default_plan_space,
+)
+from repro.scheduler.variants import rubick, rubick_e, rubick_n, rubick_r
+
+__all__ = [
+    "Allocation",
+    "BestConfig",
+    "BestPlanSelector",
+    "FixedPlanSelector",
+    "GpuCurve",
+    "Job",
+    "JobPriority",
+    "JobSpec",
+    "JobStatus",
+    "PerfModelStore",
+    "PlanSelector",
+    "RubickPolicy",
+    "ScaledDpSelector",
+    "SchedulerPolicy",
+    "SchedulingContext",
+    "SensitivityAnalyzer",
+    "Tenant",
+    "default_plan_space",
+    "rubick",
+    "rubick_e",
+    "rubick_n",
+    "rubick_r",
+]

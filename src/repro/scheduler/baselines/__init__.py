@@ -1,0 +1,15 @@
+"""Baseline schedulers Rubick is evaluated against (paper §7.3)."""
+
+from repro.scheduler.baselines.antman import AntManPolicy
+from repro.scheduler.baselines.common import FreePool
+from repro.scheduler.baselines.sia import SiaPolicy
+from repro.scheduler.baselines.simple import SimpleEqualPolicy
+from repro.scheduler.baselines.synergy import SynergyPolicy
+
+__all__ = [
+    "AntManPolicy",
+    "FreePool",
+    "SiaPolicy",
+    "SimpleEqualPolicy",
+    "SynergyPolicy",
+]

@@ -1,0 +1,109 @@
+"""AntMan baseline (Xiao et al., OSDI'20) as characterized in Rubick §7.3.
+
+AntMan provides the same guaranteed / best-effort job taxonomy as Rubick but
+guarantees *resources* rather than performance: guaranteed jobs receive
+exactly their requested allocation (gang-scheduled FIFO within the tenant
+quota, preempting best-effort jobs if needed); best-effort jobs run
+opportunistically on leftover GPUs and are preempted whenever a guaranteed
+job needs the space.  Plans and GPU counts are never reconfigured.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.state import Cluster
+from repro.plans.memory import host_mem_demand_per_node
+from repro.scheduler.baselines.common import FreePool
+from repro.scheduler.interfaces import (
+    Allocation,
+    SchedulerPolicy,
+    SchedulingContext,
+)
+from repro.scheduler.job import Job, JobStatus
+
+
+class AntManPolicy(SchedulerPolicy):
+    name = "antman"
+
+    def __init__(self, *, cpus_per_gpu: int = 4):
+        self.cpus_per_gpu = cpus_per_gpu
+
+    def schedule(
+        self, jobs: list[Job], cluster: Cluster, ctx: SchedulingContext
+    ) -> dict[str, Allocation]:
+        active = [j for j in jobs if j.is_active]
+        allocations: dict[str, Allocation] = {}
+
+        # Running jobs keep their allocation, pending preemption below.
+        running = [j for j in active if j.is_running]
+        for job in running:
+            placement = cluster.placement_of(job.job_id)
+            if job.plan is not None and not placement.is_empty:
+                allocations[job.job_id] = Allocation(placement, job.plan)
+
+        pool = FreePool(cluster, keep_job_ids=set(allocations))
+
+        def host_fn(job: Job):
+            plan = job.spec.initial_plan
+            return lambda g: host_mem_demand_per_node(
+                job.model, plan, job.spec.global_batch, g
+            )
+
+        # Guaranteed queued jobs, FIFO within quota (usage = requested GPUs).
+        quota_used: dict[str, int] = {}
+        for job in running:
+            if job.spec.is_guaranteed:
+                quota_used[job.spec.tenant] = quota_used.get(
+                    job.spec.tenant, 0
+                ) + cluster.placement_of(job.job_id).total.gpus
+        queued_guar = sorted(
+            (
+                j
+                for j in active
+                if j.status == JobStatus.QUEUED and j.spec.is_guaranteed
+            ),
+            key=lambda j: j.spec.submit_time,
+        )
+        # Best-effort victims, most recently started first.
+        be_running = sorted(
+            (j for j in running if not j.spec.is_guaranteed),
+            key=lambda j: j.start_time or 0.0,
+            reverse=True,
+        )
+        for job in queued_guar:
+            need = job.spec.requested.gpus
+            tenant = job.spec.tenant
+            if quota_used.get(tenant, 0) + need > ctx.tenant_quota(tenant):
+                continue
+            # Preempt best-effort jobs until the guaranteed job fits.
+            while pool.free_gpus < need and be_running:
+                victim = be_running.pop(0)
+                victim_alloc = allocations.pop(victim.job_id, None)
+                if victim_alloc is not None:
+                    pool.release(victim_alloc.placement)
+            placement = pool.allocate_packed(
+                need, cpus_per_gpu=self.cpus_per_gpu, host_mem_per_node=host_fn(job)
+            )
+            if placement is None:
+                continue
+            allocations[job.job_id] = Allocation(placement, job.spec.initial_plan)
+            quota_used[tenant] = quota_used.get(tenant, 0) + need
+
+        # Best-effort queued jobs use whatever is left, FIFO.
+        queued_be = sorted(
+            (
+                j
+                for j in active
+                if j.status == JobStatus.QUEUED and not j.spec.is_guaranteed
+            ),
+            key=lambda j: j.spec.submit_time,
+        )
+        for job in queued_be:
+            placement = pool.allocate_packed(
+                job.spec.requested.gpus,
+                cpus_per_gpu=self.cpus_per_gpu,
+                host_mem_per_node=host_fn(job),
+            )
+            if placement is None:
+                continue
+            allocations[job.job_id] = Allocation(placement, job.spec.initial_plan)
+        return allocations

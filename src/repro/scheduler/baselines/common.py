@@ -1,0 +1,113 @@
+"""Shared helpers for the baseline schedulers.
+
+Baselines allocate whole requested GPU counts with simple packing; this
+module provides the free-resource pool and first-fit-decreasing packing they
+share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.placement import Placement
+from repro.cluster.resources import ResourceVector
+from repro.cluster.state import Cluster
+
+
+@dataclass
+class _NodeFree:
+    node_id: int
+    free: ResourceVector
+    host_free: float
+
+
+class FreePool:
+    """Mutable view of free per-node resources during one scheduling round."""
+
+    def __init__(self, cluster: Cluster, keep_job_ids: set[str]):
+        self.nodes: list[_NodeFree] = []
+        for node in cluster.nodes:
+            used = ResourceVector.zero()
+            for job_id, share in node.allocations.items():
+                if job_id in keep_job_ids:
+                    used = used + share
+            self.nodes.append(
+                _NodeFree(
+                    node_id=node.node_id,
+                    free=(node.capacity - used).clamp_floor(),
+                    host_free=node.capacity.host_mem - used.host_mem,
+                )
+            )
+
+    @property
+    def free_gpus(self) -> int:
+        return sum(n.free.gpus for n in self.nodes)
+
+    def release(self, placement: Placement) -> None:
+        """Return a placement's resources to the pool (preemption)."""
+        for node_id, share in placement.shares.items():
+            node = self.nodes[node_id]
+            node.free = node.free + ResourceVector(share.gpus, share.cpus, 0.0)
+            node.host_free += share.host_mem
+
+    def claim(self, placement: Placement) -> bool:
+        """Reserve an exact placement if every node share fits; else no-op."""
+        for node_id, share in placement.shares.items():
+            node = self.nodes[node_id]
+            want = ResourceVector(share.gpus, share.cpus, 0.0)
+            if not want.fits_within(node.free) or share.host_mem > node.host_free:
+                return False
+        for node_id, share in placement.shares.items():
+            node = self.nodes[node_id]
+            node.free = (
+                node.free - ResourceVector(share.gpus, share.cpus, 0.0)
+            ).clamp_floor()
+            node.host_free -= share.host_mem
+        return True
+
+    def allocate_packed(
+        self,
+        gpus: int,
+        *,
+        cpus_per_gpu: int = 4,
+        host_mem_per_node=None,
+    ) -> Placement | None:
+        """First-fit-decreasing gang placement of ``gpus`` GPUs.
+
+        ``host_mem_per_node`` maps a node's GPU share to the host memory to
+        reserve there (defaults to none).  Returns ``None`` — with the pool
+        untouched — when the request cannot be gang-placed.
+        """
+        if gpus <= 0:
+            return None
+        order = sorted(self.nodes, key=lambda n: n.free.gpus, reverse=True)
+        shares: dict[int, ResourceVector] = {}
+        remaining = gpus
+        chosen: list[tuple[_NodeFree, ResourceVector]] = []
+        for node in order:
+            if remaining <= 0:
+                break
+            take = min(remaining, node.free.gpus)
+            if take <= 0:
+                continue
+            cpus = min(take * cpus_per_gpu, node.free.cpus)
+            if cpus < take:  # cannot even give 1 CPU per GPU here
+                take = min(take, node.free.cpus)
+                cpus = take
+            if take <= 0:
+                continue
+            host = host_mem_per_node(take) if host_mem_per_node else 0.0
+            if host > node.host_free:
+                continue
+            share = ResourceVector(gpus=take, cpus=cpus, host_mem=host)
+            chosen.append((node, share))
+            shares[node.node_id] = share
+            remaining -= take
+        if remaining > 0:
+            return None
+        for node, share in chosen:
+            node.free = (
+                node.free - ResourceVector(share.gpus, share.cpus, 0.0)
+            ).clamp_floor()
+            node.host_free -= share.host_mem
+        return Placement(shares)

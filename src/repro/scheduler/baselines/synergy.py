@@ -1,0 +1,122 @@
+"""Synergy baseline (Mohan et al., OSDI'22) as characterized in Rubick §7.3.
+
+Synergy "tunes CPU-memory allocation for GPU jobs with fixed GPU numbers":
+GPU counts and execution plans are whatever the user submitted; the scheduler
+gang-places jobs FIFO and then distributes each node's CPUs
+*disproportionately* — jobs whose throughput is CPU-sensitive (ZeRO-Offload)
+receive more than the proportional share, others less (with a 1-CPU/GPU
+floor).  It never reconfigures plans and never resizes GPU allocations, which
+is exactly the gap Rubick's evaluation measures against.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.resources import ResourceVector
+from repro.cluster.state import Cluster
+from repro.perfmodel.shape import ResourceShape
+from repro.plans.memory import host_mem_demand_per_node
+from repro.scheduler.interfaces import (
+    Allocation,
+    SchedulerPolicy,
+    SchedulingContext,
+)
+from repro.scheduler.job import Job, JobStatus
+from repro.scheduler.baselines.common import FreePool
+from repro.scheduler.selectors import FixedPlanSelector
+from repro.scheduler.sensitivity import SensitivityAnalyzer
+
+
+class SynergyPolicy(SchedulerPolicy):
+    name = "synergy"
+
+    def __init__(self, *, cpus_per_gpu: int = 4):
+        self.cpus_per_gpu = cpus_per_gpu
+        self._selector: FixedPlanSelector | None = None
+
+    def _ensure(self, ctx: SchedulingContext) -> FixedPlanSelector:
+        if self._selector is None:
+            analyzer = SensitivityAnalyzer(
+                ctx.perf_store, ctx.cluster_spec, cpus_per_gpu=self.cpus_per_gpu
+            )
+            self._selector = FixedPlanSelector(analyzer)
+        return self._selector
+
+    def schedule(
+        self, jobs: list[Job], cluster: Cluster, ctx: SchedulingContext
+    ) -> dict[str, Allocation]:
+        selector = self._ensure(ctx)
+        active = [j for j in jobs if j.is_active]
+        running = [j for j in active if j.is_running]
+        queued = sorted(
+            (j for j in active if j.status == JobStatus.QUEUED),
+            key=lambda j: j.spec.submit_time,
+        )
+
+        allocations: dict[str, Allocation] = {}
+        for job in running:
+            placement = cluster.placement_of(job.job_id)
+            if job.plan is not None and not placement.is_empty:
+                allocations[job.job_id] = Allocation(placement, job.plan)
+
+        pool = FreePool(cluster, keep_job_ids=set(allocations))
+        for job in queued:
+            plan = job.spec.initial_plan
+            placement = pool.allocate_packed(
+                job.spec.requested.gpus,
+                cpus_per_gpu=1,  # floor; the CPU tuner tops up below
+                host_mem_per_node=lambda g, j=job, p=plan: host_mem_demand_per_node(
+                    j.model, p, j.spec.global_batch, g
+                ),
+            )
+            if placement is None:
+                continue  # FIFO head-of-line blocking, as in gang scheduling
+            allocations[job.job_id] = Allocation(placement, plan)
+
+        self._tune_cpus(allocations, {j.job_id: j for j in active}, pool, selector)
+        return allocations
+
+    # ------------------------------------------------------------------
+    def _tune_cpus(
+        self,
+        allocations: dict[str, Allocation],
+        jobs: dict[str, Job],
+        pool: FreePool,
+        selector: FixedPlanSelector,
+    ) -> None:
+        """Distribute each node's remaining CPUs by CPU-sensitivity."""
+        for node in pool.nodes:
+            residents = [
+                (job_id, alloc)
+                for job_id, alloc in allocations.items()
+                if node.node_id in alloc.placement.shares
+            ]
+            if not residents:
+                continue
+            # Rebuild shares at the 1-CPU/GPU floor, then hand out the rest.
+            budget = node.free.cpus
+            weights: dict[str, float] = {}
+            for job_id, alloc in residents:
+                job = jobs[job_id]
+                shape = ResourceShape.from_placement(alloc.placement)
+                slope = selector.cpu_slope_up(job, shape)
+                base = selector.best(job, shape)
+                norm = base.throughput if base and base.throughput > 0 else 1.0
+                weights[job_id] = max(slope / norm, 0.0)
+            total_weight = sum(weights.values())
+            for job_id, alloc in residents:
+                share = alloc.placement.shares[node.node_id]
+                if total_weight > 1e-12:
+                    extra = int(budget * weights[job_id] / total_weight)
+                else:
+                    extra = int(budget / len(residents))
+                extra = min(extra, node.free.cpus)
+                if extra <= 0:
+                    continue
+                new_share = ResourceVector(
+                    share.gpus, share.cpus + extra, share.host_mem
+                )
+                node.free = (node.free - ResourceVector(cpus=extra)).clamp_floor()
+                allocations[job_id] = Allocation(
+                    alloc.placement.with_share(node.node_id, new_share),
+                    alloc.plan,
+                )

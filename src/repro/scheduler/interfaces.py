@@ -1,0 +1,120 @@
+"""Policy interface shared by Rubick, its variants, and the baselines.
+
+A scheduling policy is a pure-ish function from (jobs, cluster state, fitted
+performance models) to a full allocation map.  The simulator owns all side
+effects: it diffs the returned allocations against the current state, applies
+reconfiguration penalties, and advances training progress using the testbed's
+ground truth.  Policies must *never* query the testbed directly — they only
+see what the real Rubick sees: fitted performance models and framework memory
+estimates.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.cluster.placement import Placement
+from repro.cluster.state import Cluster
+from repro.cluster.topology import ClusterSpec
+from repro.models.specs import ModelSpec
+from repro.perfmodel.model import PerfModel
+from repro.plans.plan import ExecutionPlan
+from repro.scheduler.job import Job
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One job's scheduling decision: where it runs and with which plan."""
+
+    placement: Placement
+    plan: ExecutionPlan
+
+    @property
+    def gpus(self) -> int:
+        return self.placement.total.gpus
+
+
+class PerfModelStore:
+    """Fitted performance models keyed by model type (paper §3 reuse).
+
+    ``version`` increments on every update so downstream caches (sensitivity
+    curves, best-plan lookups) can detect online refits and invalidate.
+    """
+
+    def __init__(self) -> None:
+        self._models: dict[str, PerfModel] = {}
+        self.version = 0
+
+    def add(self, perf: PerfModel) -> None:
+        self._models[perf.model.name] = perf
+        self.version += 1
+
+    def get(self, model: ModelSpec) -> PerfModel:
+        try:
+            return self._models[model.name]
+        except KeyError:
+            raise KeyError(
+                f"no fitted performance model for {model.name!r}; "
+                f"profile it first"
+            ) from None
+
+    def has(self, model: ModelSpec) -> bool:
+        return model.name in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+
+@dataclass
+class Tenant:
+    """A resource tenant with a GPU quota (paper §5.1 multi-tenancy)."""
+
+    name: str
+    gpu_quota: int = 0
+
+
+@dataclass
+class SchedulingContext:
+    """Everything a policy may consult besides the jobs and cluster state."""
+
+    cluster_spec: ClusterSpec
+    perf_store: PerfModelStore
+    now: float = 0.0
+    tenants: dict[str, Tenant] = field(default_factory=dict)
+    #: Checkpoint-resume cost charged per reconfiguration (paper: ~78 s).
+    reconfig_delta: float = 78.0
+    #: Queueing-delay threshold after which a best-effort job is scheduled
+    #: regardless of its slope rank, to prevent starvation (§5.2).
+    starvation_threshold: float = 1800.0
+
+    def tenant_quota(self, name: str) -> int:
+        tenant = self.tenants.get(name)
+        if tenant is None:
+            # Unregistered tenants are unconstrained (single-tenant traces).
+            return self.cluster_spec.total_gpus
+        return tenant.gpu_quota
+
+
+class SchedulerPolicy(abc.ABC):
+    """Base class of all scheduling policies."""
+
+    #: Human-readable policy name used in result tables.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def schedule(
+        self,
+        jobs: list[Job],
+        cluster: Cluster,
+        ctx: SchedulingContext,
+    ) -> dict[str, Allocation]:
+        """Produce the desired allocation for every job that should run.
+
+        Jobs absent from the returned mapping are left queued (or preempted,
+        if currently running).  Implementations must return placements that
+        fit within cluster capacity given that *only* the jobs in the
+        returned map (plus nothing else) hold resources — the simulator
+        releases every active job's resources before applying the new map.
+        """
+        raise NotImplementedError

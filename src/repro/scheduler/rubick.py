@@ -1,0 +1,695 @@
+"""The Rubick scheduling policy (paper §5, Algorithm 1).
+
+Each round the policy:
+
+1. computes every guaranteed job's **minimum resource demand** — the fewest
+   resources (with a possibly better plan) matching the predicted performance
+   of its requested resources + original plan;
+2. schedules **privileged** queued guaranteed jobs (those whose minimum
+   demand fits the tenant's remaining quota), FIFO;
+3. walks best-effort + running jobs in **descending slope order**, growing
+   each by free resources and by **shrinking the least-sensitive over-minimum
+   job** on each node (Alg. 1 lines 8–16), one Δr = 1 GPU / 1 CPU at a time;
+4. picks the best execution plan for each resulting placement
+   (``GetBestPlan``) and reserves host memory per the framework's estimate
+   (``AllocMem``).
+
+Deviation from the paper recorded in DESIGN.md: slopes are normalized by each
+job's predicted baseline throughput (its requested-resources performance), so
+cross-model comparisons are in *speedup* units rather than raw samples/s —
+otherwise high-throughput small models would always dominate large ones.
+This matches the speedup framing the paper itself uses in Fig. 8.
+
+Resource/plan modes make this class the engine for all four Rubick variants:
+
+=============  ==================  ======================
+Variant        resources           plans
+=============  ==================  ======================
+Rubick         tuned (Alg. 1)      best over full space
+Rubick-E       fixed at request    best over full space
+Rubick-R       tuned (Alg. 1)      DP-scaled initial plan
+Rubick-N       fixed at request    initial plan only
+=============  ==================  ======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.placement import Placement
+from repro.cluster.resources import ResourceVector
+from repro.cluster.state import Cluster
+from repro.perfmodel.shape import ResourceShape
+from repro.plans.memory import host_mem_demand_per_node
+from repro.scheduler.interfaces import (
+    Allocation,
+    SchedulerPolicy,
+    SchedulingContext,
+)
+from repro.scheduler.job import Job, JobStatus
+from repro.scheduler.selectors import (
+    BestPlanSelector,
+    FixedPlanSelector,
+    PlanSelector,
+    ScaledDpSelector,
+)
+from repro.scheduler.sensitivity import SensitivityAnalyzer
+
+#: Slope below which an extra GPU is considered useless to a job.
+_EPS_SLOPE = 1e-9
+
+
+@dataclass
+class _NodeState:
+    """Speculative per-node bookkeeping for one scheduling round."""
+
+    node_id: int
+    free: ResourceVector
+    host_free: float
+    shares: dict[str, ResourceVector] = field(default_factory=dict)
+
+    def share_of(self, job_id: str) -> ResourceVector:
+        return self.shares.get(job_id, ResourceVector.zero())
+
+
+class _RoundState:
+    """All speculative allocations of one scheduling round, with undo."""
+
+    def __init__(self, cluster: Cluster, jobs: list[Job]):
+        running_ids = {j.job_id for j in jobs if j.is_running}
+        self.nodes: list[_NodeState] = []
+        for node in cluster.nodes:
+            # Carry over GPU/CPU shares of running jobs; host memory is
+            # re-reserved from scratch at commit time (AllocMem), so it is
+            # stripped here to avoid double counting.
+            shares = {
+                job_id: ResourceVector(share.gpus, share.cpus, 0.0)
+                for job_id, share in node.allocations.items()
+                if job_id in running_ids
+            }
+            used = ResourceVector.zero()
+            for share in shares.values():
+                used = used + share
+            self.nodes.append(
+                _NodeState(
+                    node_id=node.node_id,
+                    free=(node.capacity - used).clamp_floor(),
+                    host_free=node.capacity.host_mem,
+                    shares=shares,
+                )
+            )
+        self._undo: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    def totals(self, job_id: str) -> ResourceVector:
+        total = ResourceVector.zero()
+        for node in self.nodes:
+            total = total + node.share_of(job_id)
+        return total
+
+    def shape_of(self, job_id: str, cpus_override: int | None = None) -> ResourceShape:
+        gpu_shares = [
+            node.share_of(job_id).gpus
+            for node in self.nodes
+            if node.share_of(job_id).gpus > 0
+        ]
+        total = self.totals(job_id)
+        return ResourceShape(
+            gpus=total.gpus,
+            num_nodes=len(gpu_shares),
+            min_gpus_per_node=min(gpu_shares) if gpu_shares else 0,
+            cpus=cpus_override if cpus_override is not None else total.cpus,
+        )
+
+    def placement_of(self, job_id: str) -> Placement:
+        return Placement(
+            {
+                node.node_id: node.share_of(job_id)
+                for node in self.nodes
+                if not node.share_of(job_id).is_zero
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Mutations (all journaled for rollback)
+    # ------------------------------------------------------------------
+    def mark(self) -> int:
+        return len(self._undo)
+
+    def rollback(self, mark: int) -> None:
+        while len(self._undo) > mark:
+            node, job_id, prev_share, prev_free, prev_host = self._undo.pop()
+            if prev_share.is_zero:
+                node.shares.pop(job_id, None)
+            else:
+                node.shares[job_id] = prev_share
+            node.free = prev_free
+            node.host_free = prev_host
+
+    def _journal(self, node: _NodeState, job_id: str) -> None:
+        self._undo.append(
+            (node, job_id, node.share_of(job_id), node.free, node.host_free)
+        )
+
+    def move(self, node: _NodeState, job_id: str, delta: ResourceVector) -> None:
+        """Give ``delta`` from the node's free pool to ``job_id`` (journaled)."""
+        self._journal(node, job_id)
+        node.shares[job_id] = node.share_of(job_id) + delta
+        node.free = (node.free - delta).clamp_floor()
+
+    def take(self, node: _NodeState, job_id: str, delta: ResourceVector) -> None:
+        """Return ``delta`` from ``job_id`` to the node's free pool (journaled)."""
+        self._journal(node, job_id)
+        new_share = (node.share_of(job_id) - delta).clamp_floor()
+        if new_share.is_zero:
+            node.shares.pop(job_id, None)
+        else:
+            node.shares[job_id] = new_share
+        node.free = node.free + delta
+
+    def reserve_host(self, node: _NodeState, job_id: str, amount: float) -> bool:
+        if amount > node.host_free + 1e-6:
+            return False
+        self._journal(node, job_id)
+        share = node.share_of(job_id)
+        node.shares[job_id] = ResourceVector(
+            share.gpus, share.cpus, share.host_mem + amount
+        )
+        node.host_free -= amount
+        return True
+
+
+class RubickPolicy(SchedulerPolicy):
+    """Rubick and its ablation variants (see module docstring)."""
+
+    name = "rubick"
+
+    def __init__(
+        self,
+        *,
+        tune_resources: bool = True,
+        plan_mode: str = "best",  # "best" | "scaled_dp" | "fixed"
+        cpus_per_gpu: int = 4,
+        replan_improvement_threshold: float = 0.15,
+        growth_mode: str = "always",  # "never" | "slack" | "always"
+    ):
+        if growth_mode not in ("never", "slack", "always"):
+            raise ValueError(f"unknown growth mode {growth_mode!r}")
+        self.tune_resources = tune_resources
+        self.plan_mode = plan_mode
+        self.cpus_per_gpu = cpus_per_gpu
+        self.replan_improvement_threshold = replan_improvement_threshold
+        self.growth_mode = growth_mode
+        self._analyzer: SensitivityAnalyzer | None = None
+        self._selector: PlanSelector | None = None
+
+    # ------------------------------------------------------------------
+    # Lazy per-context construction (the analyzer caches across rounds)
+    # ------------------------------------------------------------------
+    def _ensure_helpers(self, ctx: SchedulingContext) -> PlanSelector:
+        if self._analyzer is None:
+            self._analyzer = SensitivityAnalyzer(
+                ctx.perf_store, ctx.cluster_spec, cpus_per_gpu=self.cpus_per_gpu
+            )
+        if self._selector is None:
+            if self.plan_mode == "best":
+                self._selector = BestPlanSelector(self._analyzer)
+            elif self.plan_mode == "scaled_dp":
+                self._selector = ScaledDpSelector(self._analyzer)
+            elif self.plan_mode == "fixed":
+                self._selector = FixedPlanSelector(self._analyzer)
+            else:
+                raise ValueError(f"unknown plan mode {self.plan_mode!r}")
+        return self._selector
+
+    # ------------------------------------------------------------------
+    # Per-job derived quantities
+    # ------------------------------------------------------------------
+    def _baseline_pred(self, job: Job, ctx: SchedulingContext) -> float:
+        """Predicted throughput of (requested resources, initial plan)."""
+        perf = ctx.perf_store.get(job.model)
+        shape = ResourceShape.packed(
+            job.spec.requested.gpus,
+            node_size=ctx.cluster_spec.node.num_gpus,
+            cpus=job.spec.requested.cpus,
+        )
+        try:
+            return perf.throughput(
+                job.spec.initial_plan, shape, job.spec.global_batch
+            )
+        except Exception:
+            return 1.0
+
+    def _ensure_min_res(self, job: Job, ctx: SchedulingContext) -> None:
+        """Compute and cache the job's minimum resource demand (Alg. 1 text).
+
+        The search runs through the policy's plan selector, so each variant
+        computes the minimum demand it can actually honor: full Rubick may
+        shrink a job to very few GPUs with a better plan; Rubick-R only along
+        the DP dimension; fixed-plan variants keep the request.
+        """
+        if job.min_res is not None:
+            return
+        if not job.spec.is_guaranteed:
+            job.min_res = ResourceVector.zero()
+            job.min_res_plan = None
+            return
+        found = self._find_min_res(job, ctx)
+        if found is not None:
+            job.min_res, job.min_res_plan = found
+        else:
+            # Fall back to the original request and plan.
+            job.min_res = job.spec.requested
+            job.min_res_plan = job.spec.initial_plan
+
+    def _find_min_res(
+        self, job: Job, ctx: SchedulingContext
+    ) -> tuple[ResourceVector, object] | None:
+        """Fewest resources whose selector-best plan matches the baseline."""
+        assert self._selector is not None
+        if not self.tune_resources:
+            return None  # fixed-resource variants guarantee exact resources
+        baseline = self._baseline_pred(job, ctx)
+        requested = job.spec.requested
+        node_size = ctx.cluster_spec.node.num_gpus
+        for gpus in range(1, requested.gpus + 1):
+            cpus = min(gpus * self.cpus_per_gpu, max(requested.cpus, gpus))
+            shape = ResourceShape.packed(gpus, node_size=node_size, cpus=cpus)
+            best = self._selector.best(job, shape)
+            if best is None or best.throughput < baseline:
+                continue
+            host = host_mem_demand_per_node(
+                job.model, best.plan, job.spec.global_batch,
+                min(gpus, node_size),
+            )
+            return (
+                ResourceVector(gpus=gpus, cpus=cpus, host_mem=host),
+                best.plan,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # The policy
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        jobs: list[Job],
+        cluster: Cluster,
+        ctx: SchedulingContext,
+    ) -> dict[str, Allocation]:
+        selector = self._ensure_helpers(ctx)
+        active = [j for j in jobs if j.is_active]
+        if not active:
+            return {}
+        by_id = {j.job_id: j for j in active}
+        for job in active:
+            self._ensure_min_res(job, ctx)
+        baselines = {j.job_id: max(self._baseline_pred(j, ctx), 1e-9) for j in active}
+
+        state = _RoundState(cluster, active)
+
+        # --- 1. privileged queued guaranteed jobs (within quota), FIFO ----
+        quota_used: dict[str, int] = {}
+        for job in active:
+            if job.spec.is_guaranteed and job.is_running:
+                quota_used[job.spec.tenant] = (
+                    quota_used.get(job.spec.tenant, 0) + job.min_res.gpus
+                )
+        queued_guaranteed = sorted(
+            (
+                j
+                for j in active
+                if j.status == JobStatus.QUEUED and j.spec.is_guaranteed
+            ),
+            key=lambda j: j.spec.submit_time,
+        )
+        scheduled: set[str] = set()
+        for job in queued_guaranteed:
+            tenant = job.spec.tenant
+            if (
+                quota_used.get(tenant, 0) + job.min_res.gpus
+                > ctx.tenant_quota(tenant)
+            ):
+                continue
+            if self._schedule_job(job, state, by_id, baselines, selector, ctx):
+                quota_used[tenant] = quota_used.get(tenant, 0) + job.min_res.gpus
+                scheduled.add(job.job_id)
+
+        # --- 2. best-effort + running jobs by slope (with starvation guard)
+        rest = [
+            j
+            for j in active
+            if j.job_id not in scheduled
+            and (
+                j.is_running
+                or (j.status == JobStatus.QUEUED and not j.spec.is_guaranteed)
+            )
+        ]
+
+        def starving(j: Job) -> bool:
+            return (
+                j.status == JobStatus.QUEUED
+                and (ctx.now - j.last_queue_enter) > ctx.starvation_threshold
+            )
+
+        def sort_key(j: Job) -> tuple:
+            gpus = state.totals(j.job_id).gpus
+            slope = selector.gpu_slope_up(j, gpus) / baselines[j.job_id]
+            cpu_slope = 0.0
+            return (starving(j), slope, cpu_slope, -j.spec.submit_time)
+
+        queue_pressure = any(
+            j.status == JobStatus.QUEUED and j.job_id not in scheduled
+            for j in active
+        )
+        for job in sorted(rest, key=sort_key, reverse=True):
+            if not self.tune_resources and job.is_running:
+                continue  # fixed-resource variants leave running jobs alone
+            if job.is_running:
+                if self.growth_mode == "never":
+                    continue
+                if self.growth_mode == "slack" and queue_pressure:
+                    # Queue-first work conservation: free resources go to
+                    # waiting jobs before running jobs are grown (growing now
+                    # would just be reclaimed — with a restart — shortly).
+                    continue
+                if not job.reconfig_gate_open(ctx.reconfig_delta):
+                    continue  # reconfiguration-frequency guard
+            self._schedule_job(job, state, by_id, baselines, selector, ctx)
+
+        # --- 3. commit: pick plans, trim, build allocations ----------------
+        return self._commit(active, state, selector, ctx)
+
+    # ------------------------------------------------------------------
+    # ScheduleJob (Alg. 1 lines 6-24)
+    # ------------------------------------------------------------------
+    def _schedule_job(
+        self,
+        job: Job,
+        state: _RoundState,
+        by_id: dict[str, Job],
+        baselines: dict[str, float],
+        selector: PlanSelector,
+        ctx: SchedulingContext,
+    ) -> bool:
+        mark = state.mark()
+        min_res = job.min_res or ResourceVector.zero()
+        target_gpus = max(self._target_gpus(job, selector, ctx), min_res.gpus)
+
+        # Record the incumbent configuration's predicted throughput so a
+        # voluntary change never commits a regression (curve slopes are
+        # computed on packed shapes; the concrete placement may be ragged).
+        incumbent = None
+        if job.is_running:
+            incumbent = selector.best(job, state.shape_of(job.job_id))
+
+        node_order = self._node_order(job, state)
+        for node in node_order:
+            if state.totals(job.job_id).gpus >= target_gpus:
+                break
+            self._acquire_gpus_on_node(
+                job, node, state, by_id, baselines, selector, target_gpus, min_res
+            )
+        self._tune_cpus(job, state, by_id, baselines, selector, min_res)
+
+        total = state.totals(job.job_id)
+        needed_gpus = max(min_res.gpus, 1)
+        if total.gpus < needed_gpus or total.gpus == 0:
+            state.rollback(mark)
+            return False
+        best = selector.best(job, state.shape_of(job.job_id))
+        if best is None:
+            state.rollback(mark)
+            return False
+        if incumbent is not None and best.throughput <= incumbent.throughput * (
+            1.0 + self.replan_improvement_threshold
+        ):
+            # Voluntary change not worth a checkpoint-restart.
+            state.rollback(mark)
+            return False
+        return True
+
+    def _target_gpus(
+        self, job: Job, selector: PlanSelector, ctx: SchedulingContext
+    ) -> int:
+        """How many GPUs the job could usefully hold."""
+        if not self.tune_resources:
+            return job.spec.requested.gpus
+        curve = selector.curve(job)
+        best_g = 0
+        for g in range(1, curve.max_gpus + 1):
+            if curve.envelope[g] > curve.envelope[best_g] + _EPS_SLOPE:
+                best_g = g
+        if best_g == 0:
+            return job.spec.requested.gpus
+        if self.plan_mode == "scaled_dp":
+            # With the plan type frozen, expansion rides pure DP scaling —
+            # exactly where the fitted model extrapolates worst (multi-node
+            # gradient sync), so the variant never exceeds the user request.
+            return min(best_g, job.spec.requested.gpus)
+        return best_g
+
+    def _node_order(self, job: Job, state: _RoundState) -> list[_NodeState]:
+        """Visit the job's existing nodes first, then the freest nodes."""
+        mine = [n for n in state.nodes if n.share_of(job.job_id).gpus > 0]
+        mine.sort(key=lambda n: n.share_of(job.job_id).gpus, reverse=True)
+        others = [n for n in state.nodes if n.share_of(job.job_id).gpus == 0]
+        others.sort(key=lambda n: n.free.gpus, reverse=True)
+        return mine + others
+
+    def _acquire_gpus_on_node(
+        self,
+        job: Job,
+        node: _NodeState,
+        state: _RoundState,
+        by_id: dict[str, Job],
+        baselines: dict[str, float],
+        selector: PlanSelector,
+        target_gpus: int,
+        min_res: ResourceVector,
+    ) -> None:
+        """Grab free GPUs, then shrink the least-sensitive job (Alg. 1 8-16)."""
+        job_id = job.job_id
+        while state.totals(job_id).gpus < target_gpus:
+            current = state.totals(job_id).gpus
+            below_min = current < min_res.gpus
+            my_slope = selector.gpu_slope_up(job, current) / baselines[job_id]
+            if not below_min and my_slope <= _EPS_SLOPE:
+                break
+            if node.free.gpus > 0 and node.free.cpus >= 1:
+                state.move(node, job_id, ResourceVector(gpus=1, cpus=1))
+                continue
+            # No free GPU here: try to reclaim one from the least-sensitive
+            # over-minimum job on this node.
+            victim = self._lowest_slope_victim(
+                node, state, by_id, baselines, selector, exclude=job_id
+            )
+            if victim is None:
+                break
+            victim_job, victim_slope = victim
+            if not (below_min or my_slope > victim_slope):
+                break
+            self._shrink_gpu(victim_job, node, state)
+            if node.free.gpus > 0 and node.free.cpus >= 1:
+                state.move(node, job_id, ResourceVector(gpus=1, cpus=1))
+            else:
+                break
+
+    def _lowest_slope_victim(
+        self,
+        node: _NodeState,
+        state: _RoundState,
+        by_id: dict[str, Job],
+        baselines: dict[str, float],
+        selector: PlanSelector,
+        exclude: str,
+    ) -> tuple[Job, float] | None:
+        """GetLowestSlopeOverMinJob for GPUs on one node."""
+        best: tuple[Job, float] | None = None
+        for job_id, share in node.shares.items():
+            if job_id == exclude or share.gpus <= 0:
+                continue
+            victim = by_id.get(job_id)
+            if victim is None:
+                continue
+            total = state.totals(job_id)
+            floor = (victim.min_res or ResourceVector.zero()).gpus
+            if victim.spec.is_guaranteed and total.gpus - 1 < floor:
+                continue  # would violate its performance guarantee
+            if not victim.spec.is_guaranteed and total.gpus - 1 < 0:
+                continue
+            slope = (
+                selector.gpu_slope_down(victim, total.gpus)
+                / baselines[victim.job_id]
+            )
+            if best is None or slope < best[1]:
+                best = (victim, slope)
+        return best
+
+    def _shrink_gpu(self, victim: Job, node: _NodeState, state: _RoundState) -> None:
+        share = node.share_of(victim.job_id)
+        cpus_drop = 1 if share.cpus > share.gpus - 1 else 0
+        state.take(node, victim.job_id, ResourceVector(gpus=1, cpus=cpus_drop))
+
+    def _tune_cpus(
+        self,
+        job: Job,
+        state: _RoundState,
+        by_id: dict[str, Job],
+        baselines: dict[str, float],
+        selector: PlanSelector,
+        min_res: ResourceVector,
+    ) -> None:
+        """CPU pass of Alg. 1: top up to the default ratio, then by slope."""
+        job_id = job.job_id
+        if state.totals(job_id).gpus == 0:
+            return
+        for node in state.nodes:
+            share = node.share_of(job_id)
+            if share.gpus == 0:
+                continue
+            # Top up to the default CPU:GPU ratio from the free pool.
+            want = min(
+                share.gpus * self.cpus_per_gpu - share.cpus, node.free.cpus
+            )
+            if want > 0:
+                state.move(node, job_id, ResourceVector(cpus=want))
+        # Grow further while the CPU slope says it pays off (offload jobs).
+        guard = 0
+        while guard < 256:
+            guard += 1
+            shape = state.shape_of(job_id)
+            slope = selector.cpu_slope_up(job, shape) / baselines[job_id]
+            below_min = state.totals(job_id).cpus < min_res.cpus
+            if not below_min and slope <= _EPS_SLOPE:
+                break
+            node = next(
+                (
+                    n
+                    for n in state.nodes
+                    if n.share_of(job_id).gpus > 0 and n.free.cpus > 0
+                ),
+                None,
+            )
+            if node is not None:
+                state.move(node, job_id, ResourceVector(cpus=1))
+                continue
+            moved = False
+            for node in state.nodes:
+                if node.share_of(job_id).gpus == 0:
+                    continue
+                victim = self._lowest_cpu_slope_victim(
+                    node, state, by_id, baselines, selector, exclude=job_id
+                )
+                if victim is None:
+                    continue
+                victim_job, victim_slope = victim
+                if below_min or slope > victim_slope:
+                    state.take(node, victim_job.job_id, ResourceVector(cpus=1))
+                    state.move(node, job_id, ResourceVector(cpus=1))
+                    moved = True
+                    break
+            if not moved:
+                break
+
+    def _lowest_cpu_slope_victim(
+        self,
+        node: _NodeState,
+        state: _RoundState,
+        by_id: dict[str, Job],
+        baselines: dict[str, float],
+        selector: PlanSelector,
+        exclude: str,
+    ) -> tuple[Job, float] | None:
+        best: tuple[Job, float] | None = None
+        for job_id, share in node.shares.items():
+            if job_id == exclude or share.gpus <= 0:
+                continue
+            victim = by_id.get(job_id)
+            if victim is None:
+                continue
+            total = state.totals(job_id)
+            floor = max(
+                (victim.min_res or ResourceVector.zero()).cpus, total.gpus
+            )
+            if total.cpus - 1 < floor or share.cpus <= share.gpus:
+                continue
+            slope = (
+                selector.cpu_slope_down(victim, state.shape_of(job_id))
+                / baselines[victim.job_id]
+            )
+            if best is None or slope < best[1]:
+                best = (victim, slope)
+        return best
+
+    # ------------------------------------------------------------------
+    # Commit: GetBestPlan + AllocMem + trim (Alg. 1 lines 19-23)
+    # ------------------------------------------------------------------
+    def _commit(
+        self,
+        active: list[Job],
+        state: _RoundState,
+        selector: PlanSelector,
+        ctx: SchedulingContext,
+    ) -> dict[str, Allocation]:
+        allocations: dict[str, Allocation] = {}
+        for job in active:
+            total = state.totals(job.job_id)
+            if total.gpus <= 0:
+                continue
+            best = selector.best(job, state.shape_of(job.job_id))
+            if best is None:
+                continue
+            plan = best.plan
+            # Trim GPUs the chosen plan does not use (envelope flats).
+            self._trim_to_plan(job.job_id, plan.num_gpus, state)
+            best = selector.best(job, state.shape_of(job.job_id))
+            if best is None:
+                continue
+            plan = best.plan
+            if not self._alloc_mem(job, plan, state):
+                continue
+            placement = state.placement_of(job.job_id)
+            allocations[job.job_id] = Allocation(placement=placement, plan=plan)
+        return allocations
+
+    def _trim_to_plan(
+        self, job_id: str, plan_gpus: int, state: _RoundState
+    ) -> None:
+        excess = state.totals(job_id).gpus - plan_gpus
+        if excess <= 0:
+            return
+        nodes = sorted(
+            (n for n in state.nodes if n.share_of(job_id).gpus > 0),
+            key=lambda n: n.share_of(job_id).gpus,
+        )
+        for node in nodes:
+            while excess > 0 and node.share_of(job_id).gpus > 0:
+                share = node.share_of(job_id)
+                if share.gpus == 1:
+                    drop_cpu = share.cpus  # last GPU leaves: release all CPUs
+                else:
+                    # Keep at least 1 CPU per remaining GPU.
+                    drop_cpu = min(
+                        self.cpus_per_gpu,
+                        max(share.cpus - (share.gpus - 1), 0),
+                    )
+                state.take(node, job_id, ResourceVector(gpus=1, cpus=drop_cpu))
+                excess -= 1
+            if excess <= 0:
+                break
+
+    def _alloc_mem(self, job: Job, plan, state: _RoundState) -> bool:
+        """Reserve per-node host memory per the framework estimate."""
+        mark = state.mark()
+        for node in state.nodes:
+            share = node.share_of(job.job_id)
+            if share.gpus <= 0:
+                continue
+            demand = host_mem_demand_per_node(
+                job.model, plan, job.spec.global_batch, share.gpus
+            )
+            if not state.reserve_host(node, job.job_id, demand):
+                state.rollback(mark)
+                return False
+        return True

@@ -1,0 +1,247 @@
+"""Plan selectors: how a policy maps a resource shape to an execution plan.
+
+The full Rubick treats the entire plan space as reconfigurable; the ablation
+variants and baselines restrict it (paper §7.3):
+
+* :class:`BestPlanSelector` — full reconfigurability (Rubick, Rubick-E).
+* :class:`ScaledDpSelector` — the plan *type* is frozen at submission; only
+  the DP dimension scales with the GPU count (Rubick-R, and Sia's scaling
+  approach for 3D-parallel jobs).
+* :class:`FixedPlanSelector` — the submitted plan, verbatim, at exactly its
+  GPU count (Rubick-N, Synergy, AntMan).
+
+Selectors also expose sensitivity curves consistent with their restriction,
+so slope-based ranking reflects what each policy can actually do.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.perfmodel.shape import ResourceShape
+from repro.plans.memory import host_mem_demand_per_node
+from repro.plans.plan import ExecutionPlan, ZeroStage
+from repro.scheduler.job import Job
+from repro.scheduler.sensitivity import BestConfig, GpuCurve, SensitivityAnalyzer
+
+
+class PlanSelector(abc.ABC):
+    """Maps (job, shape) -> best permitted plan, with matching curves."""
+
+    def __init__(self, analyzer: SensitivityAnalyzer):
+        self.analyzer = analyzer
+
+    @abc.abstractmethod
+    def best(self, job: Job, shape: ResourceShape) -> BestConfig | None:
+        """Best permitted plan for the job on an exact shape (or None)."""
+
+    @abc.abstractmethod
+    def curve(self, job: Job) -> GpuCurve:
+        """GPU sensitivity curve under this selector's plan restriction."""
+
+    # ------------------------------------------------------------------
+    # Slopes shared by all selectors
+    # ------------------------------------------------------------------
+    def gpu_slope_up(self, job: Job, gpus: int) -> float:
+        """Marginal gain of more GPUs, looking past gang-size plateaus."""
+        return self.curve(job).lookahead_slope_up(gpus)
+
+    def gpu_slope_down(self, job: Job, gpus: int) -> float:
+        return self.curve(job).slope_down(gpus)
+
+    def cpu_slope_up(self, job: Job, shape: ResourceShape) -> float:
+        base = self.best(job, shape)
+        more = self.best(job, shape.with_cpus(shape.cpus + 1))
+        if base is None or more is None:
+            return 0.0
+        return more.throughput - base.throughput
+
+    def cpu_slope_down(self, job: Job, shape: ResourceShape) -> float:
+        if shape.cpus - 1 < max(shape.gpus, 1):
+            return float("inf")
+        base = self.best(job, shape)
+        less = self.best(job, shape.with_cpus(shape.cpus - 1))
+        if base is None or less is None:
+            return float("inf")
+        return base.throughput - less.throughput
+
+
+class BestPlanSelector(PlanSelector):
+    """Full plan reconfigurability: delegate to the shared analyzer."""
+
+    def best(self, job: Job, shape: ResourceShape) -> BestConfig | None:
+        return self.analyzer.best_for_shape(
+            job.model, job.spec.global_batch, shape
+        )
+
+    def curve(self, job: Job) -> GpuCurve:
+        return self.analyzer.gpu_curve(job.model, job.spec.global_batch)
+
+
+class ScaledDpSelector(PlanSelector):
+    """Frozen plan type; only the DP size adapts to the GPU count.
+
+    For a DP-family plan the DP size becomes the GPU count (GA re-chosen to
+    keep the batch divisible).  For a 3D plan the TP/PP sizes are frozen and
+    DP = gpus / (tp·pp) — the paper's description of Sia's claimed scaling.
+    """
+
+    def __init__(self, analyzer: SensitivityAnalyzer):
+        super().__init__(analyzer)
+        self._curve_cache: dict[tuple, GpuCurve] = {}
+
+    def _candidates(
+        self, job: Job, gpus: int, min_gpus_per_node: int
+    ) -> list[ExecutionPlan]:
+        base = job.spec.initial_plan
+        batch = job.spec.global_batch
+        shard = base.tp * base.pp
+        if gpus % shard != 0:
+            return []
+        dp = gpus // shard
+        if batch % dp != 0:
+            return []
+        if base.tp > max(min_gpus_per_node, 1):
+            return []
+        per_rank = batch // dp
+        candidates = []
+        if gpus == base.num_gpus:
+            # Fallback semantics: the submitted plan itself is always a
+            # candidate at its own GPU count (Sia "fallbacks to a feasible
+            # 3D-parallel plan with the resource scaling disabled").
+            candidates.append(base)
+        if base.pp > 1:
+            for mult in (1, 2, 4, 8, 16, 32, 64):
+                m = base.pp * mult
+                if m <= per_rank and per_rank % m == 0:
+                    candidates.append(
+                        ExecutionPlan(
+                            dp=dp, tp=base.tp, pp=base.pp,
+                            micro_batches=m, gc=base.gc,
+                        )
+                    )
+            if not candidates:
+                # Shallow pipelines (m < p) still run, just with bubbles.
+                for m in range(min(base.pp, per_rank), 0, -1):
+                    if per_rank % m == 0:
+                        candidates.append(
+                            ExecutionPlan(
+                                dp=dp, tp=base.tp, pp=base.pp,
+                                micro_batches=m, gc=base.gc,
+                            )
+                        )
+                        break
+        else:
+            ga = 1
+            while ga <= per_rank:
+                if per_rank % ga == 0:
+                    candidates.append(
+                        ExecutionPlan(
+                            dp=dp, tp=base.tp, pp=1, zero=base.zero,
+                            ga_steps=ga, gc=base.gc,
+                        )
+                    )
+                ga *= 2
+        return list(dict.fromkeys(candidates))
+
+    def best(self, job: Job, shape: ResourceShape) -> BestConfig | None:
+        if shape.gpus <= 0:
+            return None
+        candidates = self._candidates(job, shape.gpus, shape.min_gpus_per_node)
+        if not candidates:
+            return None
+        perf = self.analyzer.perf_store.get(job.model)
+        node = self.analyzer.cluster_spec.node
+        batch = job.spec.global_batch
+        best: BestConfig | None = None
+        from repro.plans.memory import estimate_memory
+
+        for plan in candidates:
+            if estimate_memory(job.model, plan, batch).gpu_total > node.usable_gpu_mem:
+                continue
+            densest = max(
+                shape.min_gpus_per_node,
+                -(-shape.gpus // max(shape.num_nodes, 1)),
+            )
+            if (
+                host_mem_demand_per_node(job.model, plan, batch, densest)
+                > node.host_mem
+            ):
+                continue
+            thr = perf.throughput(plan, shape, batch)
+            if best is None or thr > best.throughput:
+                best = BestConfig(plan=plan, throughput=thr)
+        return best
+
+    def curve(self, job: Job) -> GpuCurve:
+        key = (job.model.name, job.spec.global_batch, job.spec.initial_plan,
+               self.analyzer.perf_store.version)
+        if key in self._curve_cache:
+            return self._curve_cache[key]
+        limit = self.analyzer.cluster_spec.total_gpus
+        node_size = self.analyzer.cluster_spec.node.num_gpus
+        raw: list[BestConfig | None] = [None]
+        for g in range(1, limit + 1):
+            shape = ResourceShape.packed(
+                g, node_size=node_size,
+                cpus=min(g * self.analyzer.cpus_per_gpu, self.analyzer._cpu_cap(g)),
+            )
+            raw.append(self.best(job, shape))
+        curve = _build_envelope(limit, raw)
+        self._curve_cache[key] = curve
+        return curve
+
+
+class FixedPlanSelector(PlanSelector):
+    """The submitted plan only, at exactly its GPU count."""
+
+    def __init__(self, analyzer: SensitivityAnalyzer):
+        super().__init__(analyzer)
+        self._curve_cache: dict[tuple, GpuCurve] = {}
+
+    def best(self, job: Job, shape: ResourceShape) -> BestConfig | None:
+        plan = job.spec.initial_plan
+        if shape.gpus != plan.num_gpus:
+            return None
+        if plan.tp > max(shape.min_gpus_per_node, 1):
+            return None
+        perf = self.analyzer.perf_store.get(job.model)
+        thr = perf.throughput(plan, shape, job.spec.global_batch)
+        return BestConfig(plan=plan, throughput=thr)
+
+    def curve(self, job: Job) -> GpuCurve:
+        key = (job.model.name, job.spec.global_batch, job.spec.initial_plan,
+               self.analyzer.perf_store.version)
+        if key in self._curve_cache:
+            return self._curve_cache[key]
+        limit = self.analyzer.cluster_spec.total_gpus
+        node_size = self.analyzer.cluster_spec.node.num_gpus
+        raw: list[BestConfig | None] = [None]
+        for g in range(1, limit + 1):
+            shape = ResourceShape.packed(
+                g, node_size=node_size,
+                cpus=min(g * self.analyzer.cpus_per_gpu, self.analyzer._cpu_cap(g)),
+            )
+            raw.append(self.best(job, shape))
+        curve = _build_envelope(limit, raw)
+        self._curve_cache[key] = curve
+        return curve
+
+
+def _build_envelope(limit: int, raw: list[BestConfig | None]) -> GpuCurve:
+    envelope = [0.0]
+    env_cfg: list[BestConfig | None] = [None]
+    for g in range(1, limit + 1):
+        cand = raw[g]
+        if cand is not None and cand.throughput > envelope[-1]:
+            envelope.append(cand.throughput)
+            env_cfg.append(cand)
+        else:
+            envelope.append(envelope[-1])
+            env_cfg.append(env_cfg[-1])
+    return GpuCurve(
+        max_gpus=limit,
+        raw=tuple(raw),
+        envelope=tuple(envelope),
+        envelope_config=tuple(env_cfg),
+    )

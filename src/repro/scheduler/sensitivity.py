@@ -1,0 +1,351 @@
+"""Resource sensitivity curves (paper §5.2, Fig. 6).
+
+A sensitivity curve gives, for each amount of one resource type (others held
+fixed), the best achievable predicted throughput over *all* feasible execution
+plans — the upper envelope of the per-plan curves.  The curves serve the
+scheduling policy twice:
+
+* their **slopes** rank jobs by marginal benefit, steering allocation toward
+  the most sensitive jobs; and
+* they factor execution planning out of the allocation search: the policy
+  reasons over resource amounts and asks the curve for the matching best plan
+  (``GetBestPlan``).
+
+Curves depend only on (model type, batch, plan space), so they are cached
+and shared across jobs of the same model type, mirroring the paper's reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.resources import ResourceVector
+from repro.cluster.topology import ClusterSpec
+from repro.models.catalog import is_small_model
+from repro.models.specs import ModelSpec
+from repro.perfmodel.shape import ResourceShape
+from repro.plans.enumerate import DEFAULT_SPACE, DP_FAMILY_SPACE, PlanSpace, enumerate_plans
+from repro.plans.memory import host_mem_demand_per_node
+from repro.plans.plan import ExecutionPlan
+from repro.scheduler.interfaces import PerfModelStore
+from repro.scheduler.job import Job
+
+#: Default CPU:GPU ratio used when building curves ("other resources fixed").
+DEFAULT_CPUS_PER_GPU = 4
+
+
+def default_plan_space(model: ModelSpec) -> PlanSpace:
+    """The paper's trace policy: sub-1B models use the DP plan family only."""
+    return DP_FAMILY_SPACE if is_small_model(model) else DEFAULT_SPACE
+
+
+@dataclass(frozen=True)
+class BestConfig:
+    """Best predicted configuration at one resource amount."""
+
+    plan: ExecutionPlan
+    throughput: float
+
+
+@dataclass(frozen=True)
+class GpuCurve:
+    """Best-plan throughput vs. GPU count (upper envelope, Fig. 6).
+
+    ``envelope[g]`` is the best throughput achievable with *up to* ``g`` GPUs
+    — flat across GPU counts where no plan uses exactly ``g`` (the paper:
+    "the curve remains flat for invalid GPU numbers").
+    """
+
+    max_gpus: int
+    raw: tuple[BestConfig | None, ...]  # index g: best plan using exactly g GPUs
+    envelope: tuple[float, ...]  # index g: best throughput with <= g GPUs
+    envelope_config: tuple[BestConfig | None, ...]
+
+    def throughput_at(self, gpus: int) -> float:
+        gpus = max(0, min(gpus, self.max_gpus))
+        return self.envelope[gpus]
+
+    def config_at(self, gpus: int) -> BestConfig | None:
+        gpus = max(0, min(gpus, self.max_gpus))
+        return self.envelope_config[gpus]
+
+    def slope_up(self, gpus: int, delta: int = 1) -> float:
+        """Throughput gained by the next ``delta`` GPUs."""
+        return (
+            self.throughput_at(gpus + delta) - self.throughput_at(gpus)
+        ) / delta
+
+    def slope_down(self, gpus: int, delta: int = 1) -> float:
+        """Throughput lost by giving up ``delta`` GPUs."""
+        if gpus <= 0:
+            return 0.0
+        delta = min(delta, gpus)
+        return (
+            self.throughput_at(gpus) - self.throughput_at(gpus - delta)
+        ) / delta
+
+    def next_better_count(self, gpus: int) -> int | None:
+        """Smallest GPU count above ``gpus`` where the envelope rises.
+
+        Gang constraints make the envelope a step function; unit-slope
+        signals read zero inside a flat run even when a large jump lies
+        ahead (e.g. 8 -> 16 GPUs for a 3D-parallel job).
+        """
+        here = self.throughput_at(gpus)
+        for g in range(max(gpus, 0) + 1, self.max_gpus + 1):
+            if self.envelope[g] > here + 1e-12:
+                return g
+        return None
+
+    def lookahead_slope_up(self, gpus: int) -> float:
+        """Per-GPU gain to the next envelope rise (0 if the curve is done)."""
+        nxt = self.next_better_count(gpus)
+        if nxt is None:
+            return 0.0
+        return (self.throughput_at(nxt) - self.throughput_at(gpus)) / (
+            nxt - gpus
+        )
+
+
+class SensitivityAnalyzer:
+    """Builds and caches sensitivity curves and best-plan lookups."""
+
+    def __init__(
+        self,
+        perf_store: PerfModelStore,
+        cluster_spec: ClusterSpec,
+        *,
+        cpus_per_gpu: int = DEFAULT_CPUS_PER_GPU,
+        plan_space_fn=default_plan_space,
+    ):
+        self.perf_store = perf_store
+        self.cluster_spec = cluster_spec
+        self.cpus_per_gpu = cpus_per_gpu
+        self.plan_space_fn = plan_space_fn
+        self._best_cache: dict[tuple, BestConfig | None] = {}
+        self._curve_cache: dict[tuple, GpuCurve] = {}
+        self._store_version = perf_store.version
+
+    def _check_version(self) -> None:
+        """Drop caches when the store was refitted (online model updates)."""
+        if self.perf_store.version != self._store_version:
+            self._best_cache.clear()
+            self._curve_cache.clear()
+            self._store_version = self.perf_store.version
+
+    # ------------------------------------------------------------------
+    # Best plan for a shape (GetBestPlan)
+    # ------------------------------------------------------------------
+    def best_for_shape(
+        self,
+        model: ModelSpec,
+        global_batch: int,
+        shape: ResourceShape,
+        *,
+        space: PlanSpace | None = None,
+    ) -> BestConfig | None:
+        """Highest-predicted-throughput feasible plan for an exact shape."""
+        self._check_version()
+        space = space if space is not None else self.plan_space_fn(model)
+        key = (model.name, global_batch, shape, space)
+        if key in self._best_cache:
+            return self._best_cache[key]
+        best = self._compute_best(model, global_batch, shape, space)
+        self._best_cache[key] = best
+        return best
+
+    def _compute_best(
+        self,
+        model: ModelSpec,
+        global_batch: int,
+        shape: ResourceShape,
+        space: PlanSpace,
+    ) -> BestConfig | None:
+        if shape.gpus <= 0:
+            return None
+        perf = self.perf_store.get(model)
+        node = self.cluster_spec.node
+        plans = enumerate_plans(
+            model,
+            global_batch,
+            shape.gpus,
+            min_gpus_per_node=shape.min_gpus_per_node,
+            gpu_mem_budget=node.usable_gpu_mem,
+            space=space,
+        )
+        best: BestConfig | None = None
+        for plan in plans:
+            # Host-memory capacity check: the densest node of the placement
+            # must be able to hold its share of the plan's host state.
+            densest = max(
+                shape.min_gpus_per_node,
+                -(-shape.gpus // max(shape.num_nodes, 1)),
+            )
+            if (
+                host_mem_demand_per_node(model, plan, global_batch, densest)
+                > node.host_mem
+            ):
+                continue
+            thr = perf.throughput(plan, shape, global_batch)
+            if best is None or thr > best.throughput:
+                best = BestConfig(plan=plan, throughput=thr)
+        return best
+
+    # ------------------------------------------------------------------
+    # GPU sensitivity curve
+    # ------------------------------------------------------------------
+    def gpu_curve(
+        self,
+        model: ModelSpec,
+        global_batch: int,
+        *,
+        max_gpus: int | None = None,
+        cpus_per_gpu: int | None = None,
+        space: PlanSpace | None = None,
+    ) -> GpuCurve:
+        self._check_version()
+        space = space if space is not None else self.plan_space_fn(model)
+        cpg = cpus_per_gpu if cpus_per_gpu is not None else self.cpus_per_gpu
+        limit = max_gpus if max_gpus is not None else self.cluster_spec.total_gpus
+        key = (model.name, global_batch, limit, cpg, space)
+        if key in self._curve_cache:
+            return self._curve_cache[key]
+        node_size = self.cluster_spec.node.num_gpus
+        raw: list[BestConfig | None] = [None]
+        for g in range(1, limit + 1):
+            shape = ResourceShape.packed(
+                g, node_size=node_size, cpus=min(g * cpg, self._cpu_cap(g))
+            )
+            raw.append(
+                self.best_for_shape(model, global_batch, shape, space=space)
+            )
+        envelope = [0.0]
+        env_cfg: list[BestConfig | None] = [None]
+        for g in range(1, limit + 1):
+            cand = raw[g]
+            if cand is not None and cand.throughput > envelope[-1]:
+                envelope.append(cand.throughput)
+                env_cfg.append(cand)
+            else:
+                envelope.append(envelope[-1])
+                env_cfg.append(env_cfg[-1])
+        curve = GpuCurve(
+            max_gpus=limit,
+            raw=tuple(raw),
+            envelope=tuple(envelope),
+            envelope_config=tuple(env_cfg),
+        )
+        self._curve_cache[key] = curve
+        return curve
+
+    def _cpu_cap(self, gpus: int) -> int:
+        """CPUs available to a job holding ``gpus`` packed GPUs."""
+        node = self.cluster_spec.node
+        nodes = -(-gpus // node.num_gpus)
+        return nodes * node.num_cpus
+
+    # ------------------------------------------------------------------
+    # Slopes (per job, per resource type)
+    # ------------------------------------------------------------------
+    def gpu_slope_up(self, job: Job, gpus: int) -> float:
+        curve = self.gpu_curve(job.model, job.spec.global_batch)
+        return curve.slope_up(gpus)
+
+    def gpu_slope_down(self, job: Job, gpus: int) -> float:
+        curve = self.gpu_curve(job.model, job.spec.global_batch)
+        return curve.slope_down(gpus)
+
+    def cpu_slope(
+        self,
+        model: ModelSpec,
+        global_batch: int,
+        shape: ResourceShape,
+        *,
+        delta: int = 1,
+        space: PlanSpace | None = None,
+    ) -> float:
+        """Marginal throughput per extra CPU at a fixed GPU shape."""
+        base = self.best_for_shape(model, global_batch, shape, space=space)
+        more = self.best_for_shape(
+            model, global_batch, shape.with_cpus(shape.cpus + delta), space=space
+        )
+        if base is None or more is None:
+            return 0.0
+        return (more.throughput - base.throughput) / delta
+
+    def cpu_slope_down(
+        self,
+        model: ModelSpec,
+        global_batch: int,
+        shape: ResourceShape,
+        *,
+        delta: int = 1,
+        space: PlanSpace | None = None,
+    ) -> float:
+        if shape.cpus - delta < max(shape.gpus, 1):
+            return float("inf")  # cannot drop below the 1-CPU/GPU floor
+        base = self.best_for_shape(model, global_batch, shape, space=space)
+        less = self.best_for_shape(
+            model, global_batch, shape.with_cpus(shape.cpus - delta), space=space
+        )
+        if base is None or less is None:
+            return float("inf")
+        return (base.throughput - less.throughput) / delta
+
+    # ------------------------------------------------------------------
+    # Minimum resource demand (Alg. 1 preamble)
+    # ------------------------------------------------------------------
+    def find_min_res(
+        self, job: Job
+    ) -> tuple[ResourceVector, ExecutionPlan] | None:
+        """Fewest resources (with best plan) matching the requested-config performance.
+
+        Searches GPU counts ascending (then CPUs) for the first configuration
+        whose best-plan predicted throughput reaches the predicted throughput
+        of (requested resources, initial plan).  Never exceeds the request in
+        any dimension (paper §5.2).  Returns ``None`` if nothing qualifies —
+        the caller then falls back to the original request and plan.
+        """
+        spec = job.spec
+        requested = spec.requested
+        node_size = self.cluster_spec.node.num_gpus
+        baseline_shape = ResourceShape.packed(
+            requested.gpus, node_size=node_size, cpus=requested.cpus
+        )
+        perf = self.perf_store.get(job.model)
+        try:
+            baseline_thr = perf.throughput(
+                spec.initial_plan, baseline_shape, spec.global_batch
+            )
+        except Exception:
+            return None
+        space = self.plan_space_fn(job.model)
+        for gpus in range(1, requested.gpus + 1):
+            cpu_options = sorted(
+                {
+                    min(gpus * mult, requested.cpus)
+                    for mult in (1, 2, 4, 8)
+                    if gpus * mult <= max(requested.cpus, gpus)
+                }
+            )
+            if not cpu_options:
+                cpu_options = [min(gpus, requested.cpus)]
+            for cpus in cpu_options:
+                shape = ResourceShape.packed(gpus, node_size=node_size, cpus=cpus)
+                best = self.best_for_shape(
+                    job.model, spec.global_batch, shape, space=space
+                )
+                if best is None or best.throughput < baseline_thr:
+                    continue
+                host = host_mem_demand_per_node(
+                    job.model, best.plan, spec.global_batch, min(gpus, node_size)
+                )
+                min_res = ResourceVector(
+                    gpus=gpus,
+                    cpus=cpus,
+                    host_mem=min(host, requested.host_mem)
+                    if requested.host_mem
+                    else host,
+                )
+                return min_res, best.plan
+        return None

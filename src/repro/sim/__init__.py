@@ -1,0 +1,29 @@
+"""Discrete-time cluster simulation: engine, traces, workloads, metrics."""
+
+from repro.sim.engine import Simulator
+from repro.sim.metrics import JobRecord, SimulationResult
+from repro.sim.trace import Trace, TraceJob
+from repro.sim.workload import (
+    DEFAULT_GPU_MIX,
+    MODEL_MIN_GPUS,
+    WorkloadConfig,
+    generate_trace,
+    to_best_plan_trace,
+    to_multi_tenant_trace,
+    with_large_model_share,
+)
+
+__all__ = [
+    "DEFAULT_GPU_MIX",
+    "MODEL_MIN_GPUS",
+    "JobRecord",
+    "SimulationResult",
+    "Simulator",
+    "Trace",
+    "TraceJob",
+    "WorkloadConfig",
+    "generate_trace",
+    "to_best_plan_trace",
+    "to_multi_tenant_trace",
+    "with_large_model_share",
+]

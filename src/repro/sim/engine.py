@@ -1,0 +1,416 @@
+"""Discrete-time cluster simulator (paper §7.4).
+
+The simulator replays a trace against a scheduling policy.  Ground-truth job
+progress comes from the synthetic testbed; the policy sees only fitted
+performance models — the same information asymmetry the real system has.
+
+Mechanics:
+
+* **Event-driven core** — the clock jumps to the next of {job arrival,
+  earliest predicted completion, periodic tick}; between events every running
+  job advances by ``throughput × dt``.
+* **Reconfiguration cost** — whenever a running job's GPU placement or plan
+  changes (including preemption + later restart), the job pauses for the
+  checkpoint-resume delta (default 78 s, the paper's measured mean).
+  CPU/host-memory-only changes are free (cgroup updates, no restart).
+* **SLA accounting** — each guaranteed job's achieved execution throughput is
+  compared against the ground-truth throughput of its requested resources +
+  initial plan.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+from repro.cluster.resources import ResourceVector
+from repro.cluster.state import Cluster
+from repro.cluster.topology import ClusterSpec
+from repro.errors import OutOfMemoryError, SimulationError
+from repro.oracle.profiler import build_perf_model, profiling_cost_seconds
+from repro.oracle.testbed import SyntheticTestbed
+from repro.perfmodel.shape import ResourceShape
+from repro.plans.enumerate import enumerate_plans
+from repro.plans.memory import estimate_memory
+from repro.scheduler.sensitivity import default_plan_space
+from repro.scheduler.interfaces import (
+    Allocation,
+    PerfModelStore,
+    SchedulerPolicy,
+    SchedulingContext,
+    Tenant,
+)
+from repro.scheduler.job import Job, JobSpec, JobStatus
+from repro.sim.metrics import JobRecord, SimulationResult
+from repro.sim.trace import Trace
+
+_EPS = 1e-6
+
+
+class Simulator:
+    """Replays a trace under one scheduling policy."""
+
+    def __init__(
+        self,
+        cluster_spec: ClusterSpec,
+        policy: SchedulerPolicy,
+        *,
+        testbed: SyntheticTestbed | None = None,
+        perf_store: PerfModelStore | None = None,
+        seed: int = 0,
+        reconfig_delta: float = 78.0,
+        tick_interval: float = 300.0,
+        default_cpus_per_gpu: int = 4,
+        max_sim_time: float = 120 * 3600.0,
+        online_refitter=None,
+    ):
+        self.cluster_spec = cluster_spec
+        self.policy = policy
+        self.testbed = testbed or SyntheticTestbed(cluster_spec, seed=seed)
+        self.perf_store = perf_store or PerfModelStore()
+        self.seed = seed
+        self.reconfig_delta = reconfig_delta
+        self.tick_interval = tick_interval
+        self.default_cpus_per_gpu = default_cpus_per_gpu
+        self.max_sim_time = max_sim_time
+        #: Optional :class:`repro.perfmodel.online.OnlineRefitter` — when
+        #: set, every realized-throughput observation can trigger a refit
+        #: (paper §4.3 continuous model fitting).
+        self.online_refitter = online_refitter
+        self._best_thr_cache: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _profile_models(self, trace: Trace) -> float:
+        """Fit a performance model per model type (paper phase ①)."""
+        count = 0
+        for tj in trace:
+            if not self.perf_store.has(tj.model):
+                perf, _ = build_perf_model(
+                    self.testbed, tj.model, tj.model.global_batch_size,
+                    seed=self.seed,
+                )
+                self.perf_store.add(perf)
+                if self.online_refitter is not None:
+                    from repro.oracle.profiler import (
+                        collect_samples,
+                        default_profile_configs,
+                    )
+
+                    configs = default_profile_configs(
+                        self.testbed, tj.model, tj.model.global_batch_size
+                    )
+                    self.online_refitter.register_profiling_samples(
+                        tj.model,
+                        collect_samples(
+                            self.testbed, tj.model,
+                            tj.model.global_batch_size, configs,
+                        ),
+                    )
+                count += 1
+        return count * profiling_cost_seconds()
+
+    def _best_throughput(self, model, gpus: int, global_batch: int) -> float:
+        """Ground-truth best-plan throughput at a packed allocation (cached).
+
+        The duration→samples translation uses the *model's* throughput at
+        the requested GPU count (paper §7.3) — i.e. the best feasible plan —
+        so a job's work is intrinsic, independent of how (un)lucky its
+        randomly assigned initial plan is.
+        """
+        key = (model.name, gpus, global_batch)
+        cached = self._best_thr_cache.get(key)
+        if cached is not None:
+            return cached
+        node_size = self.cluster_spec.node.num_gpus
+        shape = ResourceShape.packed(
+            gpus, node_size=node_size, cpus=gpus * self.default_cpus_per_gpu
+        )
+        plans = enumerate_plans(
+            model,
+            global_batch,
+            gpus,
+            min_gpus_per_node=shape.min_gpus_per_node,
+            gpu_mem_budget=self.cluster_spec.node.usable_gpu_mem,
+            space=default_plan_space(model),
+        )
+        best = 0.0
+        for plan in plans:
+            if not self.testbed.is_feasible(model, plan, shape, global_batch):
+                continue
+            best = max(
+                best,
+                self.testbed.true_throughput(model, plan, shape, global_batch),
+            )
+        self._best_thr_cache[key] = best
+        return best
+
+    def _make_job(self, tj) -> Job:
+        model = tj.model
+        cpus = tj.requested_cpus or tj.requested_gpus * self.default_cpus_per_gpu
+        shape = ResourceShape.packed(
+            tj.requested_gpus,
+            node_size=self.cluster_spec.node.num_gpus,
+            cpus=cpus,
+        )
+        # SLA baseline: what the user's own configuration would achieve.
+        baseline = self.testbed.true_throughput(
+            model, tj.initial_plan, shape, tj.global_batch
+        )
+        best_thr = self._best_throughput(model, tj.requested_gpus, tj.global_batch)
+        host_mem = estimate_memory(
+            model, tj.initial_plan, tj.global_batch
+        ).host_total
+        spec = JobSpec(
+            job_id=tj.job_id,
+            model=model,
+            global_batch=tj.global_batch,
+            requested=ResourceVector(
+                gpus=tj.requested_gpus, cpus=cpus, host_mem=host_mem
+            ),
+            initial_plan=tj.initial_plan,
+            total_samples=tj.duration * max(best_thr, baseline),
+            submit_time=tj.submit_time,
+            priority=tj.priority,
+            tenant=tj.tenant,
+        )
+        job = Job(spec=spec)
+        job.baseline_throughput = baseline
+        job.last_queue_enter = tj.submit_time
+        return job
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: Trace,
+        *,
+        tenants: dict[str, Tenant] | None = None,
+    ) -> SimulationResult:
+        profiling_seconds = self._profile_models(trace)
+        cluster = Cluster(self.cluster_spec)
+        pending = list(trace.jobs)  # sorted by submit time already
+        jobs: dict[str, Job] = {}
+        gpu_seconds: dict[str, float] = {}
+        result = SimulationResult(
+            policy_name=self.policy.name,
+            trace_name=trace.name,
+            profiling_seconds=profiling_seconds,
+        )
+        ctx = SchedulingContext(
+            cluster_spec=self.cluster_spec,
+            perf_store=self.perf_store,
+            tenants=tenants or {},
+            reconfig_delta=self.reconfig_delta,
+        )
+
+        now = pending[0].submit_time if pending else 0.0
+        idle_rounds = 0
+        while True:
+            # --- admit arrivals at `now` -------------------------------
+            arrived = False
+            while pending and pending[0].submit_time <= now + _EPS:
+                tj = pending.pop(0)
+                job = self._make_job(tj)
+                jobs[job.job_id] = job
+                gpu_seconds[job.job_id] = 0.0
+                arrived = True
+
+            active = [j for j in jobs.values() if j.is_active]
+
+            # --- detect completions ------------------------------------
+            finished_now = [
+                j
+                for j in active
+                if j.is_running and j.remaining_samples <= _EPS
+            ]
+            for job in finished_now:
+                job.status = JobStatus.FINISHED
+                job.finish_time = now
+                job.throughput = 0.0
+                cluster.release(job.job_id)
+                result.records.append(
+                    JobRecord.from_job(job, gpu_seconds[job.job_id])
+                )
+            if finished_now:
+                active = [j for j in jobs.values() if j.is_active]
+
+            # --- termination --------------------------------------------
+            if not active and not pending:
+                break
+            if now > self.max_sim_time:
+                raise SimulationError(
+                    f"simulation exceeded max_sim_time={self.max_sim_time}; "
+                    f"{len(active)} jobs still active"
+                )
+
+            # --- run the policy -----------------------------------------
+            ctx.now = now
+            wall = _time.perf_counter()
+            allocations = self.policy.schedule(active, cluster, ctx)
+            result.policy_wall_seconds += _time.perf_counter() - wall
+            result.policy_invocations += 1
+            self._apply(allocations, active, cluster, now)
+
+            # Deadlock guard: nothing running, nothing arriving, queue stuck.
+            running = [j for j in active if j.is_running]
+            if not running and not pending:
+                idle_rounds += 1
+                if idle_rounds > 3:
+                    stuck = ", ".join(j.job_id for j in active[:5])
+                    raise SimulationError(
+                        f"policy {self.policy.name!r} cannot place remaining "
+                        f"jobs ({stuck} ...) on an empty cluster"
+                    )
+            else:
+                idle_rounds = 0
+
+            # --- choose the next event time ------------------------------
+            next_time = self._next_event_time(now, pending, active)
+            self._advance(now, next_time, active, gpu_seconds)
+            now = next_time
+
+        result.makespan = (
+            max((r.finish_time for r in result.records), default=0.0)
+            - min((r.submit_time for r in result.records), default=0.0)
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Applying policy decisions
+    # ------------------------------------------------------------------
+    def _apply(
+        self,
+        allocations: dict[str, Allocation],
+        active: list[Job],
+        cluster: Cluster,
+        now: float,
+    ) -> None:
+        # Two-phase: release everything, then apply the new map — avoids
+        # transient capacity violations from apply ordering.
+        previous: dict[str, tuple] = {}
+        for job in active:
+            previous[job.job_id] = (cluster.placement_of(job.job_id), job.plan)
+            cluster.release(job.job_id)
+
+        for job in active:
+            alloc = allocations.get(job.job_id)
+            prev_placement, prev_plan = previous[job.job_id]
+            if alloc is None or alloc.placement.is_empty:
+                if job.is_running:  # preemption
+                    job.status = JobStatus.QUEUED
+                    job.placement = prev_placement.__class__.empty()
+                    job.plan = None
+                    job.throughput = 0.0
+                    job.last_queue_enter = now
+                continue
+            try:
+                cluster.apply(job.job_id, alloc.placement)
+            except Exception:
+                # Policy produced an over-committed placement; treat as a
+                # failed launch and leave the job queued.
+                cluster.release(job.job_id)
+                if job.is_running:
+                    job.status = JobStatus.QUEUED
+                    job.plan = None
+                    job.throughput = 0.0
+                    job.last_queue_enter = now
+                continue
+            shape = ResourceShape.from_placement(alloc.placement)
+            try:
+                thr = self.testbed.true_throughput(
+                    job.model, alloc.plan, shape, job.spec.global_batch
+                )
+            except OutOfMemoryError:
+                cluster.release(job.job_id)
+                if job.is_running:
+                    job.status = JobStatus.QUEUED
+                    job.plan = None
+                    job.throughput = 0.0
+                    job.last_queue_enter = now
+                continue
+
+            if self.online_refitter is not None:
+                perf = self.perf_store.get(job.model)
+                updated = self.online_refitter.observe(
+                    perf, job.model, alloc.plan, shape,
+                    job.spec.global_batch, thr,
+                )
+                if updated is not perf:
+                    self.perf_store.add(updated)
+
+            gpus_changed = self._gpu_shares(alloc.placement) != self._gpu_shares(
+                prev_placement
+            )
+            plan_changed = alloc.plan != prev_plan
+            was_queued = job.status == JobStatus.QUEUED
+            job.placement = alloc.placement
+            job.plan = alloc.plan
+            job.throughput = thr
+            if was_queued:
+                job.queue_seconds += now - job.last_queue_enter
+                if job.start_time is None:
+                    job.start_time = now
+                    job.status = JobStatus.RUNNING
+                else:
+                    # Restart from checkpoint after preemption.
+                    job.status = JobStatus.PAUSED
+                    job.pause_until = now + self.reconfig_delta
+                    job.reconfig_count += 1
+            elif gpus_changed or plan_changed:
+                job.status = JobStatus.PAUSED
+                job.pause_until = now + self.reconfig_delta
+                job.reconfig_count += 1
+            # CPU/host-only changes keep the job running untouched.
+
+    @staticmethod
+    def _gpu_shares(placement) -> dict[int, int]:
+        return {
+            node_id: share.gpus
+            for node_id, share in placement.shares.items()
+            if share.gpus > 0
+        }
+
+    # ------------------------------------------------------------------
+    # Time stepping
+    # ------------------------------------------------------------------
+    def _next_event_time(self, now: float, pending, active) -> float:
+        candidates = [now + self.tick_interval]
+        if pending:
+            candidates.append(pending[0].submit_time)
+        for job in active:
+            if not job.is_running or job.throughput <= 0:
+                continue
+            start = max(now, job.pause_until if job.status == JobStatus.PAUSED else now)
+            candidates.append(start + job.remaining_samples / job.throughput)
+        next_time = min(candidates)
+        return max(next_time, now + _EPS)
+
+    def _advance(
+        self,
+        t_from: float,
+        t_to: float,
+        active: list[Job],
+        gpu_seconds: dict[str, float],
+    ) -> None:
+        dt = t_to - t_from
+        if dt <= 0:
+            return
+        for job in active:
+            if job.status == JobStatus.QUEUED:
+                continue
+            held_gpus = job.placement.total.gpus
+            gpu_seconds[job.job_id] += held_gpus * dt
+            if job.status == JobStatus.PAUSED:
+                pause_end = min(job.pause_until, t_to)
+                paused_dt = max(pause_end - t_from, 0.0)
+                job.reconfig_seconds += paused_dt
+                if t_to + _EPS >= job.pause_until:
+                    job.status = JobStatus.RUNNING
+                active_dt = max(t_to - max(t_from, job.pause_until), 0.0)
+            else:
+                active_dt = dt
+            if active_dt > 0 and job.throughput > 0:
+                job.samples_done += job.throughput * active_dt
+                job.run_seconds += active_dt

@@ -1,0 +1,159 @@
+"""Simulation results and scheduling metrics (JCT, makespan, overheads)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.scheduler.job import Job, JobPriority
+from repro.units import HOUR
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Final accounting of one completed job."""
+
+    job_id: str
+    model_name: str
+    priority: JobPriority
+    tenant: str
+    submit_time: float
+    first_start: float | None
+    finish_time: float
+    jct: float
+    queue_seconds: float
+    run_seconds: float
+    reconfig_count: int
+    reconfig_seconds: float
+    gpu_seconds: float
+    requested_gpus: int
+    #: Achieved execution throughput / SLA-baseline throughput (>= 1 means
+    #: the performance guarantee held; only meaningful for guaranteed jobs).
+    sla_ratio: float
+
+    @staticmethod
+    def from_job(job: Job, gpu_seconds: float) -> "JobRecord":
+        assert job.finish_time is not None
+        exec_thr = (
+            job.spec.total_samples / job.run_seconds if job.run_seconds > 0 else 0.0
+        )
+        sla = (
+            exec_thr / job.baseline_throughput
+            if job.baseline_throughput > 0
+            else 0.0
+        )
+        return JobRecord(
+            job_id=job.job_id,
+            model_name=job.model.name,
+            priority=job.spec.priority,
+            tenant=job.spec.tenant,
+            submit_time=job.spec.submit_time,
+            first_start=job.start_time,
+            finish_time=job.finish_time,
+            jct=job.finish_time - job.spec.submit_time,
+            queue_seconds=job.queue_seconds,
+            run_seconds=job.run_seconds,
+            reconfig_count=job.reconfig_count,
+            reconfig_seconds=job.reconfig_seconds,
+            gpu_seconds=gpu_seconds,
+            requested_gpus=job.spec.requested.gpus,
+            sla_ratio=sla,
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Everything a benchmark needs to print a paper-style results row."""
+
+    policy_name: str
+    trace_name: str
+    records: list[JobRecord] = field(default_factory=list)
+    makespan: float = 0.0
+    profiling_seconds: float = 0.0
+    policy_invocations: int = 0
+    policy_wall_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # JCT statistics
+    # ------------------------------------------------------------------
+    def _jcts(self, subset: list[JobRecord] | None = None) -> np.ndarray:
+        records = subset if subset is not None else self.records
+        return np.array([r.jct for r in records]) if records else np.array([0.0])
+
+    def avg_jct(self, subset: list[JobRecord] | None = None) -> float:
+        return float(np.mean(self._jcts(subset)))
+
+    def p99_jct(self, subset: list[JobRecord] | None = None) -> float:
+        return float(np.percentile(self._jcts(subset), 99))
+
+    def avg_jct_hours(self, subset: list[JobRecord] | None = None) -> float:
+        return self.avg_jct(subset) / HOUR
+
+    def p99_jct_hours(self, subset: list[JobRecord] | None = None) -> float:
+        return self.p99_jct(subset) / HOUR
+
+    @property
+    def makespan_hours(self) -> float:
+        return self.makespan / HOUR
+
+    # ------------------------------------------------------------------
+    # Slices
+    # ------------------------------------------------------------------
+    def by_priority(self, priority: JobPriority) -> list[JobRecord]:
+        return [r for r in self.records if r.priority == priority]
+
+    def by_tenant(self, tenant: str) -> list[JobRecord]:
+        return [r for r in self.records if r.tenant == tenant]
+
+    def by_model(self, model_name: str) -> list[JobRecord]:
+        return [r for r in self.records if r.model_name == model_name]
+
+    # ------------------------------------------------------------------
+    # Overheads (paper §7.3 "System overheads")
+    # ------------------------------------------------------------------
+    @property
+    def avg_reconfig_seconds_per_job(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.reconfig_seconds for r in self.records]))
+
+    @property
+    def avg_reconfig_count(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.reconfig_count for r in self.records]))
+
+    @property
+    def total_gpu_hours(self) -> float:
+        return sum(r.gpu_seconds for r in self.records) / HOUR
+
+    @property
+    def reconfig_gpu_hour_fraction(self) -> float:
+        """Fraction of GPU-hours spent in reconfiguration pauses."""
+        recon = sum(
+            r.reconfig_seconds * r.requested_gpus for r in self.records
+        ) / HOUR
+        total = self.total_gpu_hours
+        return recon / total if total > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # SLA
+    # ------------------------------------------------------------------
+    def sla_violations(self, threshold: float = 0.95) -> list[JobRecord]:
+        """Guaranteed jobs whose achieved performance fell below threshold×baseline."""
+        return [
+            r
+            for r in self.by_priority(JobPriority.GUARANTEED)
+            if r.sla_ratio < threshold
+        ]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "jobs": float(len(self.records)),
+            "avg_jct_h": self.avg_jct_hours(),
+            "p99_jct_h": self.p99_jct_hours(),
+            "makespan_h": self.makespan_hours,
+            "avg_reconfigs": self.avg_reconfig_count,
+            "reconfig_gpu_frac": self.reconfig_gpu_hour_fraction,
+        }

@@ -1,0 +1,184 @@
+"""JSON (de)serialization of traces and simulation results.
+
+Traces are the unit of experiment exchange (the paper ships trace variants,
+not raw cluster logs); results are what EXPERIMENTS.md-style records are
+built from.  The format is a stable, versioned, plain-JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.plans.plan import ExecutionPlan, ZeroStage
+from repro.scheduler.job import JobPriority
+from repro.sim.metrics import JobRecord, SimulationResult
+from repro.sim.trace import Trace, TraceJob
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+def plan_to_dict(plan: ExecutionPlan) -> dict[str, Any]:
+    return {
+        "dp": plan.dp,
+        "tp": plan.tp,
+        "pp": plan.pp,
+        "zero": plan.zero.name,
+        "ga_steps": plan.ga_steps,
+        "micro_batches": plan.micro_batches,
+        "gc": plan.gc,
+    }
+
+
+def plan_from_dict(data: dict[str, Any]) -> ExecutionPlan:
+    return ExecutionPlan(
+        dp=int(data["dp"]),
+        tp=int(data["tp"]),
+        pp=int(data["pp"]),
+        zero=ZeroStage[data["zero"]],
+        ga_steps=int(data["ga_steps"]),
+        micro_batches=int(data["micro_batches"]),
+        gc=bool(data["gc"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Traces
+# ----------------------------------------------------------------------
+def trace_to_dict(trace: Trace) -> dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": trace.name,
+        "jobs": [
+            {
+                "job_id": j.job_id,
+                "model_name": j.model_name,
+                "submit_time": j.submit_time,
+                "requested_gpus": j.requested_gpus,
+                "requested_cpus": j.requested_cpus,
+                "duration": j.duration,
+                "global_batch": j.global_batch,
+                "priority": j.priority.value,
+                "tenant": j.tenant,
+                "initial_plan": plan_to_dict(j.initial_plan),
+            }
+            for j in trace
+        ],
+    }
+
+
+def trace_from_dict(data: dict[str, Any]) -> Trace:
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    jobs = tuple(
+        TraceJob(
+            job_id=j["job_id"],
+            model_name=j["model_name"],
+            submit_time=float(j["submit_time"]),
+            requested_gpus=int(j["requested_gpus"]),
+            requested_cpus=int(j.get("requested_cpus", 0)),
+            duration=float(j["duration"]),
+            global_batch=int(j["global_batch"]),
+            priority=JobPriority(j["priority"]),
+            tenant=j["tenant"],
+            initial_plan=plan_from_dict(j["initial_plan"]),
+        )
+        for j in data["jobs"]
+    )
+    return Trace(jobs=jobs, name=data.get("name", "trace"))
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(trace_to_dict(trace), indent=1))
+
+
+def load_trace(path: str | Path) -> Trace:
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def result_to_dict(result: SimulationResult) -> dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "policy_name": result.policy_name,
+        "trace_name": result.trace_name,
+        "makespan": result.makespan,
+        "profiling_seconds": result.profiling_seconds,
+        "policy_invocations": result.policy_invocations,
+        "summary": result.summary(),
+        "records": [
+            {
+                "job_id": r.job_id,
+                "model_name": r.model_name,
+                "priority": r.priority.value,
+                "tenant": r.tenant,
+                "submit_time": r.submit_time,
+                "first_start": r.first_start,
+                "finish_time": r.finish_time,
+                "jct": r.jct,
+                "queue_seconds": r.queue_seconds,
+                "run_seconds": r.run_seconds,
+                "reconfig_count": r.reconfig_count,
+                "reconfig_seconds": r.reconfig_seconds,
+                "gpu_seconds": r.gpu_seconds,
+                "requested_gpus": r.requested_gpus,
+                "sla_ratio": r.sla_ratio,
+            }
+            for r in result.records
+        ],
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> SimulationResult:
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    records = [
+        JobRecord(
+            job_id=r["job_id"],
+            model_name=r["model_name"],
+            priority=JobPriority(r["priority"]),
+            tenant=r["tenant"],
+            submit_time=float(r["submit_time"]),
+            first_start=r["first_start"],
+            finish_time=float(r["finish_time"]),
+            jct=float(r["jct"]),
+            queue_seconds=float(r["queue_seconds"]),
+            run_seconds=float(r["run_seconds"]),
+            reconfig_count=int(r["reconfig_count"]),
+            reconfig_seconds=float(r["reconfig_seconds"]),
+            gpu_seconds=float(r["gpu_seconds"]),
+            requested_gpus=int(r["requested_gpus"]),
+            sla_ratio=float(r["sla_ratio"]),
+        )
+        for r in data["records"]
+    ]
+    return SimulationResult(
+        policy_name=data["policy_name"],
+        trace_name=data["trace_name"],
+        records=records,
+        makespan=float(data["makespan"]),
+        profiling_seconds=float(data["profiling_seconds"]),
+        policy_invocations=int(data["policy_invocations"]),
+    )
+
+
+def save_result(result: SimulationResult, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=1))
+
+
+def load_result(path: str | Path) -> SimulationResult:
+    return result_from_dict(json.loads(Path(path).read_text()))

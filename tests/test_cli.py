@@ -1,0 +1,77 @@
+"""CLI: trace generation, simulation, comparison, profiling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sim.serialization import load_result, load_trace
+
+SMALL = ["--nodes", "2", "--gpus-per-node", "8", "--seed", "17"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_policy_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "nope"])
+
+
+class TestGenerateTrace:
+    def test_writes_loadable_trace(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        rc = main(
+            ["generate-trace", *SMALL, "--jobs", "6", "--output", str(out)]
+        )
+        assert rc == 0
+        trace = load_trace(out)
+        assert len(trace) == 6
+        assert "wrote 6 jobs" in capsys.readouterr().out
+
+
+class TestSimulateAndCompare:
+    def test_simulate_generated_trace(self, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        rc = main(
+            ["simulate", *SMALL, "--jobs", "5", "--policy", "rubick-n",
+             "--output", str(out)]
+        )
+        assert rc == 0
+        result = load_result(out)
+        assert len(result.records) == 5
+        assert "avg_jct_h" in capsys.readouterr().out
+
+    def test_simulate_trace_file(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        main(["generate-trace", *SMALL, "--jobs", "5", "--output",
+              str(trace_path)])
+        rc = main(
+            ["simulate", *SMALL, "--policy", "synergy",
+             "--trace", str(trace_path)]
+        )
+        assert rc == 0
+
+    def test_compare_prints_ratio_table(self, capsys):
+        rc = main(
+            ["compare", *SMALL, "--jobs", "5",
+             "--policies", "rubick-n,synergy"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rubick-n" in out and "synergy" in out
+        assert "(1.00x)" in out
+
+    def test_compare_rejects_unknown_policy(self, capsys):
+        rc = main(["compare", *SMALL, "--jobs", "5", "--policies", "nope"])
+        assert rc == 2
+
+
+class TestProfile:
+    def test_profile_prints_parameters(self, capsys):
+        rc = main(["profile", *SMALL, "--model", "roberta"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "k_bwd" in out and "RMSLE" in out

@@ -1,0 +1,110 @@
+"""Discrete-time simulator: lifecycle, penalties, conservation invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.oracle import SyntheticTestbed
+from repro.plans import ExecutionPlan
+from repro.scheduler import JobPriority, rubick, rubick_n
+from repro.scheduler.baselines import SynergyPolicy
+from repro.sim import Simulator, Trace, TraceJob, WorkloadConfig, generate_trace
+
+CLUSTER = ClusterSpec(num_nodes=2, node=NodeSpec(num_gpus=8, num_cpus=96))
+SEED = 11
+
+
+def _tiny_trace(testbed, n=8, span=1800.0):
+    # LLaMA-30B needs more than this 16-GPU test cluster can profile with
+    # the paper's 7-sample minimum; exclude it from the tiny workload.
+    return generate_trace(
+        WorkloadConfig(
+            num_jobs=n, seed=SEED, span=span, cluster=CLUSTER,
+            model_weights={"llama-30b": 0.0},
+        ),
+        testbed,
+    )
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return SyntheticTestbed(CLUSTER, seed=SEED)
+
+
+class TestLifecycle:
+    def test_all_jobs_complete(self, testbed):
+        trace = _tiny_trace(testbed)
+        sim = Simulator(CLUSTER, rubick(), testbed=SyntheticTestbed(CLUSTER, seed=SEED), seed=SEED)
+        res = sim.run(trace)
+        assert len(res.records) == len(trace)
+        assert all(r.finish_time >= r.submit_time for r in res.records)
+
+    def test_makespan_covers_all_jcts(self, testbed):
+        trace = _tiny_trace(testbed)
+        sim = Simulator(CLUSTER, SynergyPolicy(), testbed=SyntheticTestbed(CLUSTER, seed=SEED), seed=SEED)
+        res = sim.run(trace)
+        first_submit = min(r.submit_time for r in res.records)
+        assert res.makespan == pytest.approx(
+            max(r.finish_time for r in res.records) - first_submit
+        )
+
+    def test_deterministic_replay(self, testbed):
+        trace = _tiny_trace(testbed)
+        jcts = []
+        for _ in range(2):
+            sim = Simulator(
+                CLUSTER, rubick(), testbed=SyntheticTestbed(CLUSTER, seed=SEED), seed=SEED
+            )
+            res = sim.run(trace)
+            jcts.append(sorted((r.job_id, round(r.jct, 6)) for r in res.records))
+        assert jcts[0] == jcts[1]
+
+
+class TestWorkAccounting:
+    def test_single_job_runtime_matches_duration(self, testbed):
+        """A lone job at its requested resources with the best plan finishes
+        in about its reference duration."""
+        model = "gpt2-1.5b"
+        job = TraceJob(
+            job_id="solo", model_name=model, submit_time=0.0,
+            requested_gpus=8, duration=1200.0,
+            initial_plan=ExecutionPlan(dp=8, ga_steps=2), global_batch=16,
+        )
+        sim = Simulator(
+            CLUSTER, rubick(), testbed=SyntheticTestbed(CLUSTER, seed=SEED), seed=SEED
+        )
+        res = sim.run(Trace(jobs=(job,)))
+        record = res.records[0]
+        # Rubick may beat the reference duration (better plan), never by an
+        # absurd factor, and should not be slower than ~1.3x of it.
+        assert 0.3 * 1200 <= record.jct <= 1.3 * 1200
+
+    def test_gpu_seconds_positive_and_bounded(self, testbed):
+        trace = _tiny_trace(testbed)
+        sim = Simulator(CLUSTER, rubick_n(), testbed=SyntheticTestbed(CLUSTER, seed=SEED), seed=SEED)
+        res = sim.run(trace)
+        for r in res.records:
+            assert r.gpu_seconds > 0
+            # Cannot exceed the whole cluster for the job's lifetime.
+            assert r.gpu_seconds <= CLUSTER.total_gpus * (r.jct + 1e-6)
+
+
+class TestReconfigurationCosts:
+    def test_reconfig_seconds_track_counts(self, testbed):
+        trace = _tiny_trace(testbed, n=12, span=900.0)
+        sim = Simulator(
+            CLUSTER, rubick(), testbed=SyntheticTestbed(CLUSTER, seed=SEED),
+            seed=SEED, reconfig_delta=50.0,
+        )
+        res = sim.run(trace)
+        for r in res.records:
+            assert r.reconfig_seconds <= r.reconfig_count * 50.0 + 1e-6
+
+    def test_sla_ratios_recorded(self, testbed):
+        trace = _tiny_trace(testbed)
+        sim = Simulator(CLUSTER, rubick(), testbed=SyntheticTestbed(CLUSTER, seed=SEED), seed=SEED)
+        res = sim.run(trace)
+        guar = res.by_priority(JobPriority.GUARANTEED)
+        assert guar
+        assert all(r.sla_ratio > 0 for r in guar)

@@ -1,0 +1,82 @@
+"""FreePool packing helper used by the baseline schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec, Placement, ResourceVector
+from repro.scheduler.baselines import FreePool
+
+SPEC = ClusterSpec(num_nodes=2, node=NodeSpec(num_gpus=4, num_cpus=16))
+
+
+@pytest.fixture
+def pool() -> FreePool:
+    return FreePool(Cluster(SPEC), keep_job_ids=set())
+
+
+class TestAllocatePacked:
+    def test_single_node_fit(self, pool):
+        placement = pool.allocate_packed(3, cpus_per_gpu=2)
+        assert placement is not None
+        assert placement.total.gpus == 3
+        assert placement.is_single_node
+        assert pool.free_gpus == 5
+
+    def test_spans_nodes_when_needed(self, pool):
+        placement = pool.allocate_packed(6, cpus_per_gpu=1)
+        assert placement is not None
+        assert placement.num_nodes == 2
+
+    def test_oversized_request_fails_without_mutation(self, pool):
+        assert pool.allocate_packed(9) is None
+        assert pool.free_gpus == 8
+
+    def test_zero_request_rejected(self, pool):
+        assert pool.allocate_packed(0) is None
+
+    def test_host_memory_constraint(self, pool):
+        huge = SPEC.node.host_mem * 2
+        placement = pool.allocate_packed(
+            2, host_mem_per_node=lambda g: huge
+        )
+        assert placement is None
+
+    def test_respects_existing_allocations(self):
+        cluster = Cluster(SPEC)
+        cluster.apply("held", Placement({0: ResourceVector(gpus=4, cpus=8)}))
+        pool = FreePool(cluster, keep_job_ids={"held"})
+        assert pool.free_gpus == 4
+        placement = pool.allocate_packed(5)
+        assert placement is None
+
+    def test_released_jobs_free_their_resources(self):
+        cluster = Cluster(SPEC)
+        cluster.apply("gone", Placement({0: ResourceVector(gpus=4, cpus=8)}))
+        pool = FreePool(cluster, keep_job_ids=set())  # "gone" not kept
+        assert pool.free_gpus == 8
+
+
+class TestClaim:
+    def test_claim_reserves_exact_placement(self, pool):
+        placement = Placement(
+            {0: ResourceVector(gpus=2, cpus=4), 1: ResourceVector(gpus=1, cpus=2)}
+        )
+        assert pool.claim(placement)
+        assert pool.free_gpus == 5
+
+    def test_claim_fails_atomically(self, pool):
+        pool.allocate_packed(4)  # fills node with most free GPUs
+        too_big = Placement(
+            {0: ResourceVector(gpus=4, cpus=4), 1: ResourceVector(gpus=4, cpus=4)}
+        )
+        before = pool.free_gpus
+        assert not pool.claim(too_big)
+        assert pool.free_gpus == before  # nothing partially reserved
+
+
+class TestRelease:
+    def test_release_returns_resources(self, pool):
+        placement = pool.allocate_packed(4, cpus_per_gpu=1)
+        pool.release(placement)
+        assert pool.free_gpus == 8

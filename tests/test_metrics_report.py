@@ -1,0 +1,99 @@
+"""Metrics aggregation and ASCII reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_series, format_table, normalize_to_first, ratio
+from repro.scheduler import JobPriority
+from repro.sim.metrics import JobRecord, SimulationResult
+from repro.units import HOUR
+
+
+def _record(job_id="j", jct=HOUR, priority=JobPriority.GUARANTEED,
+            tenant="default", sla=1.0, model="gpt2-1.5b", reconfigs=1):
+    return JobRecord(
+        job_id=job_id, model_name=model, priority=priority, tenant=tenant,
+        submit_time=0.0, first_start=60.0, finish_time=jct, jct=jct,
+        queue_seconds=60.0, run_seconds=jct - 60.0, reconfig_count=reconfigs,
+        reconfig_seconds=78.0 * reconfigs, gpu_seconds=8 * jct,
+        requested_gpus=8, sla_ratio=sla,
+    )
+
+
+class TestSimulationResult:
+    def test_jct_statistics(self):
+        res = SimulationResult(policy_name="p", trace_name="t")
+        res.records = [_record(jct=h * HOUR) for h in (1, 2, 3)]
+        assert res.avg_jct_hours() == pytest.approx(2.0)
+        assert res.p99_jct_hours() == pytest.approx(3.0, rel=0.01)
+
+    def test_empty_result_safe(self):
+        res = SimulationResult(policy_name="p", trace_name="t")
+        assert res.avg_jct() == 0.0
+        assert res.avg_reconfig_count == 0.0
+        assert res.reconfig_gpu_hour_fraction == 0.0
+
+    def test_priority_and_tenant_slices(self):
+        res = SimulationResult(policy_name="p", trace_name="t")
+        res.records = [
+            _record("a", priority=JobPriority.GUARANTEED, tenant="x"),
+            _record("b", priority=JobPriority.BEST_EFFORT, tenant="y"),
+        ]
+        assert [r.job_id for r in res.by_priority(JobPriority.GUARANTEED)] == ["a"]
+        assert [r.job_id for r in res.by_tenant("y")] == ["b"]
+        assert [r.job_id for r in res.by_model("gpt2-1.5b")] == ["a", "b"]
+
+    def test_sla_violations(self):
+        res = SimulationResult(policy_name="p", trace_name="t")
+        res.records = [
+            _record("ok", sla=1.1),
+            _record("bad", sla=0.5),
+            _record("be", sla=0.1, priority=JobPriority.BEST_EFFORT),
+        ]
+        # Only guaranteed jobs count.
+        assert [r.job_id for r in res.sla_violations()] == ["bad"]
+
+    def test_reconfig_overhead_fraction(self):
+        res = SimulationResult(policy_name="p", trace_name="t")
+        res.records = [_record(jct=10 * HOUR, reconfigs=2)]
+        frac = res.reconfig_gpu_hour_fraction
+        assert 0 < frac < 0.01
+
+    def test_summary_keys(self):
+        res = SimulationResult(policy_name="p", trace_name="t")
+        res.records = [_record()]
+        summary = res.summary()
+        assert set(summary) >= {"jobs", "avg_jct_h", "p99_jct_h", "makespan_h"}
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table(["a", "bb"], [("x", 1.0), ("yyy", 22.5)])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1  # rectangular
+        assert "yyy" in text
+
+    def test_table_title(self):
+        text = format_table(["a"], [("x",)], title="T")
+        assert text.startswith("T\n")
+
+    def test_ratio(self):
+        assert ratio(2.0, 1.0) == "(2.00x)"
+        assert ratio(1.0, 0.0) == "(n/a)"
+
+    def test_series_bars_scale(self):
+        text = format_series([1, 2], [1.0, 2.0], label="L", width=10)
+        lines = text.splitlines()
+        assert lines[0] == "L"
+        assert lines[2].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1], [1.0, 2.0])
+
+    def test_normalize_to_first(self):
+        assert normalize_to_first([2.0, 4.0]) == [1.0, 2.0]
+        assert normalize_to_first([]) == []
+        assert normalize_to_first([0.0, 1.0]) == [0.0, 0.0]

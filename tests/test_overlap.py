@@ -1,0 +1,60 @@
+"""The overlap function f_k: bounds, limits, monotonicity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.perfmodel import overlap
+
+durations = st.floats(min_value=1e-6, max_value=1e4, allow_nan=False)
+degrees = st.floats(min_value=1.0, max_value=64.0, allow_nan=False)
+
+
+class TestLimits:
+    def test_k1_is_sum(self):
+        assert overlap(1.0, 3.0, 4.0) == pytest.approx(7.0)
+
+    def test_large_k_is_max(self):
+        assert overlap(100.0, 3.0, 4.0) == pytest.approx(4.0)
+
+    def test_zero_spans_short_circuit(self):
+        assert overlap(2.0, 0.0, 5.0) == 5.0
+        assert overlap(2.0, 5.0, 0.0) == 5.0
+        assert overlap(2.0, 0.0, 0.0) == 0.0
+
+    def test_k_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            overlap(0.5, 1.0, 1.0)
+
+
+class TestProperties:
+    @given(k=degrees, x=durations, y=durations)
+    def test_bounded_between_max_and_sum(self, k, x, y):
+        value = overlap(k, x, y)
+        assert max(x, y) <= value * (1 + 1e-9)
+        assert value <= (x + y) * (1 + 1e-9)
+
+    @given(k=degrees, x=durations, y=durations)
+    def test_symmetry(self, k, x, y):
+        assert overlap(k, x, y) == pytest.approx(overlap(k, y, x))
+
+    @given(x=durations, y=durations)
+    def test_monotone_decreasing_in_k(self, x, y):
+        ks = [1.0, 2.0, 4.0, 8.0, 32.0]
+        values = [overlap(k, x, y) for k in ks]
+        for lo, hi in zip(values[1:], values[:-1]):
+            assert lo <= hi * (1 + 1e-9)
+
+    @given(k=degrees, x=durations, y=durations, scale=st.floats(0.1, 10.0))
+    def test_positively_homogeneous(self, k, x, y, scale):
+        assert overlap(k, scale * x, scale * y) == pytest.approx(
+            scale * overlap(k, x, y), rel=1e-6
+        )
+
+    @given(k=degrees, x=durations)
+    def test_extreme_ratio_stable(self, k, x):
+        # A microscopic second span must not blow up the combination.
+        value = overlap(k, x, x * 1e-12)
+        assert value == pytest.approx(x, rel=1e-6) or value >= x

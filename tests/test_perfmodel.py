@@ -1,0 +1,178 @@
+"""Performance model: components, predictions, fitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import PAPER_CLUSTER
+from repro.errors import FittingError
+from repro.models import GPT2, LLAMA2_7B
+from repro.perfmodel import (
+    Interconnect,
+    PerfModel,
+    PerfParams,
+    ResourceShape,
+    ThroughputSample,
+    comm_volume_dp,
+    comm_volume_pp,
+    comm_volume_tp,
+    fit_perf_model,
+)
+from repro.plans import ExecutionPlan, ZeroStage
+
+ENV = Interconnect.from_cluster(PAPER_CLUSTER)
+
+
+@pytest.fixture
+def perf() -> PerfModel:
+    return PerfModel(model=GPT2, env=ENV, t_fwd_ref=0.02, params=PerfParams())
+
+
+class TestCommVolumes:
+    def test_dp_zero_when_single_replica(self):
+        assert comm_volume_dp(GPT2, ExecutionPlan(dp=1)) == 0.0
+
+    def test_dp_volume_partitioned_by_shards(self):
+        flat = comm_volume_dp(LLAMA2_7B, ExecutionPlan(dp=4, ga_steps=8))
+        sharded = comm_volume_dp(
+            LLAMA2_7B, ExecutionPlan(dp=4, tp=2, pp=2, micro_batches=2)
+        )
+        assert sharded == pytest.approx(flat / 4)
+
+    def test_zero_dp_doubles_dp_volume(self):
+        plain = comm_volume_dp(GPT2, ExecutionPlan(dp=4))
+        zero = comm_volume_dp(GPT2, ExecutionPlan(dp=4, zero=ZeroStage.ZERO_DP))
+        assert zero == pytest.approx(2 * plain)
+
+    def test_tp_pp_zero_without_partitioning(self):
+        assert comm_volume_tp(GPT2, ExecutionPlan(dp=4), 16) == 0.0
+        assert comm_volume_pp(GPT2, ExecutionPlan(dp=4), 16) == 0.0
+
+    def test_tp_volume_grows_with_degree(self):
+        t2 = comm_volume_tp(LLAMA2_7B, ExecutionPlan(tp=2), 32)
+        t4 = comm_volume_tp(LLAMA2_7B, ExecutionPlan(tp=4), 32)
+        assert t4 > t2 > 0
+
+
+class TestPredictions:
+    def test_throughput_positive_and_inverse_of_iter_time(self, perf):
+        plan = ExecutionPlan(dp=8, ga_steps=2)
+        shape = ResourceShape.packed(8, cpus=32)
+        thr = perf.throughput(plan, shape, 16)
+        assert thr > 0
+        assert thr == pytest.approx(16 / perf.iter_time(plan, shape, 16))
+
+    def test_more_gpus_faster_for_dp(self, perf):
+        t4 = perf.iter_time(ExecutionPlan(dp=4, ga_steps=4), ResourceShape.packed(4, cpus=16), 16)
+        t8 = perf.iter_time(ExecutionPlan(dp=8, ga_steps=2), ResourceShape.packed(8, cpus=32), 16)
+        assert t8 < t4
+
+    def test_gc_slower_than_plain(self, perf):
+        shape = ResourceShape.packed(8, cpus=32)
+        plain = perf.iter_time(ExecutionPlan(dp=8, ga_steps=2), shape, 16)
+        gc = perf.iter_time(ExecutionPlan(dp=8, ga_steps=2, gc=True), shape, 16)
+        assert gc > plain
+
+    def test_offload_cpu_scaling(self, perf):
+        plan = ExecutionPlan(dp=4, zero=ZeroStage.OFFLOAD, ga_steps=4)
+        few = perf.iter_time(plan, ResourceShape.packed(4, cpus=4), 16)
+        many = perf.iter_time(plan, ResourceShape.packed(4, cpus=32), 16)
+        assert many < few
+
+    def test_multi_node_dp_slower_than_single_node(self, perf):
+        plan = ExecutionPlan(dp=8, ga_steps=2)
+        single = ResourceShape(gpus=8, num_nodes=1, min_gpus_per_node=8, cpus=32)
+        spread = ResourceShape(gpus=8, num_nodes=8, min_gpus_per_node=1, cpus=32)
+        assert perf.iter_time(plan, spread, 16) > perf.iter_time(plan, single, 16)
+
+    def test_breakdown_components_sum_consistently(self, perf):
+        plan = ExecutionPlan(dp=8, ga_steps=2)
+        bd = perf.breakdown(plan, ResourceShape.packed(8, cpus=32), 16)
+        assert bd.t_iter == pytest.approx(
+            bd.t_cc + bd.t_oo + perf.params.k_const
+        )
+
+    def test_invalid_fwd_ref_rejected(self):
+        with pytest.raises(ValueError):
+            PerfModel(model=GPT2, env=ENV, t_fwd_ref=0.0)
+
+
+class TestFitting:
+    def _samples(self, truth: PerfModel, configs) -> list[ThroughputSample]:
+        return [
+            ThroughputSample(
+                plan=plan,
+                shape=shape,
+                global_batch=16,
+                throughput=truth.throughput(plan, shape, 16),
+            )
+            for plan, shape in configs
+        ]
+
+    def test_recovers_noiseless_truth(self):
+        truth = PerfModel(
+            model=GPT2, env=ENV, t_fwd_ref=0.02,
+            params=PerfParams(k_bwd=2.1, k_opt=6e-11, k_const=0.04,
+                              k_opt_off=6e-9),
+        )
+        configs = [
+            (ExecutionPlan(dp=1, ga_steps=16), ResourceShape.packed(1, cpus=4)),
+            (ExecutionPlan(dp=2, ga_steps=8), ResourceShape.packed(2, cpus=8)),
+            (ExecutionPlan(dp=4, ga_steps=4), ResourceShape.packed(4, cpus=16)),
+            (ExecutionPlan(dp=8, ga_steps=2), ResourceShape.packed(8, cpus=32)),
+            (ExecutionPlan(dp=8, ga_steps=2, gc=True), ResourceShape.packed(8, cpus=32)),
+            (ExecutionPlan(dp=1, zero=ZeroStage.OFFLOAD, ga_steps=16),
+             ResourceShape.packed(1, cpus=4)),
+            (ExecutionPlan(dp=1, zero=ZeroStage.OFFLOAD, ga_steps=16),
+             ResourceShape.packed(1, cpus=16)),
+            (ExecutionPlan(dp=2, zero=ZeroStage.OFFLOAD, ga_steps=8, gc=True),
+             ResourceShape.packed(2, cpus=8)),
+        ]
+        samples = self._samples(truth, configs)
+        fitted, report = fit_perf_model(GPT2, ENV, 0.02, samples, seed=3)
+        assert report.rmsle < 0.02
+        # Held-out prediction close to truth.
+        plan = ExecutionPlan(dp=4, zero=ZeroStage.ZERO_DP, ga_steps=4)
+        shape = ResourceShape.packed(4, cpus=16)
+        assert fitted.throughput(plan, shape, 16) == pytest.approx(
+            truth.throughput(plan, shape, 16), rel=0.1
+        )
+
+    def test_strict_mode_requires_seven_samples(self):
+        truth = PerfModel(model=GPT2, env=ENV, t_fwd_ref=0.02)
+        samples = self._samples(
+            truth, [(ExecutionPlan(dp=8, ga_steps=2), ResourceShape.packed(8, cpus=32))]
+        )
+        with pytest.raises(FittingError, match=">= 7 samples"):
+            fit_perf_model(GPT2, ENV, 0.02, samples)
+
+    def test_strict_mode_requires_offload_samples(self):
+        truth = PerfModel(model=GPT2, env=ENV, t_fwd_ref=0.02)
+        configs = [
+            (ExecutionPlan(dp=d, ga_steps=16 // d), ResourceShape.packed(d, cpus=4 * d))
+            for d in (1, 2, 4, 8)
+        ] * 2
+        samples = self._samples(truth, configs)
+        with pytest.raises(FittingError, match="ZeRO-Offload"):
+            fit_perf_model(GPT2, ENV, 0.02, samples)
+
+    def test_non_strict_allows_partial_sets(self):
+        truth = PerfModel(model=GPT2, env=ENV, t_fwd_ref=0.02)
+        samples = self._samples(
+            truth,
+            [(ExecutionPlan(dp=8, ga_steps=2), ResourceShape.packed(8, cpus=32))] * 3,
+        )
+        fitted, _ = fit_perf_model(GPT2, ENV, 0.02, samples, strict=False)
+        assert fitted.params.k_bwd > 0
+
+    def test_rejects_non_positive_throughput(self):
+        bad = [
+            ThroughputSample(
+                plan=ExecutionPlan(dp=1, ga_steps=16),
+                shape=ResourceShape.packed(1, cpus=4),
+                global_batch=16,
+                throughput=0.0,
+            )
+        ]
+        with pytest.raises(FittingError):
+            fit_perf_model(GPT2, ENV, 0.02, bad, strict=False)

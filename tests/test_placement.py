@@ -1,0 +1,99 @@
+"""Placement construction and aggregate queries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import PAPER_CLUSTER, Placement, ResourceVector
+from repro.errors import PlacementError
+
+
+class TestConstruction:
+    def test_empty(self):
+        p = Placement.empty()
+        assert p.is_empty
+        assert p.num_nodes == 0
+        assert p.min_gpus_per_node == 0
+
+    def test_zero_shares_dropped(self):
+        p = Placement({0: ResourceVector.zero(), 1: ResourceVector(gpus=2, cpus=2)})
+        assert p.node_ids() == [1]
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ValueError):
+            Placement({0: ResourceVector(gpus=-1)})
+
+    def test_single(self):
+        p = Placement.single(3, ResourceVector(gpus=4, cpus=8))
+        assert p.node_ids() == [3]
+        assert p.total == ResourceVector(4, 8, 0.0)
+
+
+class TestAggregates:
+    def test_total_sums_shares(self):
+        p = Placement(
+            {
+                0: ResourceVector(2, 4, 1.0),
+                1: ResourceVector(3, 6, 2.0),
+            }
+        )
+        assert p.total == ResourceVector(5, 10, 3.0)
+
+    def test_gpus_per_node_descending(self):
+        p = Placement({0: ResourceVector(gpus=2), 1: ResourceVector(gpus=8)})
+        assert p.gpus_per_node == [8, 2]
+        assert p.min_gpus_per_node == 2
+        assert not p.is_single_node
+
+    def test_cpu_only_share_not_a_gpu_node(self):
+        p = Placement({0: ResourceVector(gpus=4), 1: ResourceVector(cpus=8)})
+        assert p.num_nodes == 1
+        assert p.min_gpus_per_node == 4
+
+
+class TestPacked:
+    def test_fills_whole_nodes_first(self):
+        p = Placement.packed(PAPER_CLUSTER, 12, cpus_per_gpu=2)
+        assert p.gpus_per_node == [8, 4]
+        assert p.total.gpus == 12
+        assert p.total.cpus == 24
+
+    def test_single_node(self):
+        p = Placement.packed(PAPER_CLUSTER, 8)
+        assert p.is_single_node
+
+    def test_zero_gpus_is_empty(self):
+        assert Placement.packed(PAPER_CLUSTER, 0).is_empty
+
+    def test_exceeding_cluster_raises(self):
+        with pytest.raises(PlacementError):
+            Placement.packed(PAPER_CLUSTER, PAPER_CLUSTER.total_gpus + 1)
+
+    def test_negative_raises(self):
+        with pytest.raises(PlacementError):
+            Placement.packed(PAPER_CLUSTER, -1)
+
+    @given(gpus=st.integers(min_value=1, max_value=64))
+    def test_packed_totals_match(self, gpus):
+        p = Placement.packed(PAPER_CLUSTER, gpus)
+        assert p.total.gpus == gpus
+        assert all(g <= PAPER_CLUSTER.node.num_gpus for g in p.gpus_per_node)
+        # At most one partially filled node under dense packing.
+        partial = [g for g in p.gpus_per_node if g < PAPER_CLUSTER.node.num_gpus]
+        assert len(partial) <= 1
+
+
+class TestWithShare:
+    def test_replace_and_remove(self):
+        p = Placement({0: ResourceVector(gpus=2)})
+        p2 = p.with_share(1, ResourceVector(gpus=3))
+        assert p2.total.gpus == 5
+        p3 = p2.with_share(0, ResourceVector.zero())
+        assert p3.node_ids() == [1]
+
+    def test_original_unchanged(self):
+        p = Placement({0: ResourceVector(gpus=2)})
+        p.with_share(0, ResourceVector(gpus=5))
+        assert p.total.gpus == 2

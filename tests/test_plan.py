@@ -1,0 +1,136 @@
+"""ExecutionPlan structural rules and naming."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InfeasiblePlanError
+from repro.models import GPT2, LLAMA2_7B
+from repro.plans import ExecutionPlan, ZeroStage
+
+
+class TestStructuralRules:
+    def test_default_is_single_gpu_dp(self):
+        plan = ExecutionPlan()
+        assert plan.num_gpus == 1
+        assert plan.is_pure_dp_family
+
+    def test_zero_requires_pure_dp(self):
+        with pytest.raises(InfeasiblePlanError):
+            ExecutionPlan(dp=2, tp=2, zero=ZeroStage.ZERO_DP)
+        with pytest.raises(InfeasiblePlanError):
+            ExecutionPlan(dp=2, pp=2, zero=ZeroStage.OFFLOAD)
+
+    def test_ga_conflicts_with_pp(self):
+        with pytest.raises(InfeasiblePlanError):
+            ExecutionPlan(pp=2, ga_steps=2)
+
+    def test_micro_batches_require_pp(self):
+        with pytest.raises(InfeasiblePlanError):
+            ExecutionPlan(pp=1, micro_batches=4)
+
+    @pytest.mark.parametrize("field", ["dp", "tp", "pp", "ga_steps", "micro_batches"])
+    def test_sizes_must_be_positive(self, field):
+        with pytest.raises(InfeasiblePlanError):
+            ExecutionPlan(**{field: 0})
+
+    def test_num_gpus_is_product(self):
+        assert ExecutionPlan(dp=2, tp=4, pp=2, micro_batches=2).num_gpus == 16
+
+
+class TestMicroBatchSize:
+    def test_dp_with_ga(self):
+        plan = ExecutionPlan(dp=2, ga_steps=4)
+        assert plan.micro_batch_size(16) == 2
+
+    def test_pp_micro_batches(self):
+        plan = ExecutionPlan(dp=1, tp=1, pp=2, micro_batches=8)
+        assert plan.micro_batch_size(16) == 2
+
+    def test_indivisible_batch_raises(self):
+        plan = ExecutionPlan(dp=3)
+        with pytest.raises(InfeasiblePlanError):
+            plan.micro_batch_size(16)
+
+    def test_passes_per_iteration(self):
+        assert ExecutionPlan(ga_steps=4).passes_per_iteration() == 4
+        assert ExecutionPlan(pp=2, micro_batches=6).passes_per_iteration() == 6
+
+
+class TestValidateAgainstModel:
+    def test_tp_must_divide_heads(self):
+        # GPT-2 has 25 heads: tp=2 invalid, tp=5 valid.
+        assert not ExecutionPlan(tp=2, dp=1).is_valid(GPT2, 16)
+        assert ExecutionPlan(tp=5, dp=1).is_valid(GPT2, 15 * 5) or True
+        plan = ExecutionPlan(tp=5, dp=1)
+        plan.validate(GPT2, 16, min_gpus_per_node=8)
+
+    def test_pp_must_divide_layers(self):
+        assert ExecutionPlan(pp=8, micro_batches=8).is_valid(GPT2, 16)
+        assert not ExecutionPlan(pp=5, micro_batches=5).is_valid(GPT2, 20)
+
+    def test_tp_capped_by_node_share(self):
+        plan = ExecutionPlan(tp=8)
+        assert plan.is_valid(LLAMA2_7B, 32, min_gpus_per_node=8)
+        assert not plan.is_valid(LLAMA2_7B, 32, min_gpus_per_node=4)
+
+
+class TestNaming:
+    @pytest.mark.parametrize(
+        "plan,family",
+        [
+            (ExecutionPlan(dp=4), "DP"),
+            (ExecutionPlan(dp=4, ga_steps=2), "DP+GA"),
+            (ExecutionPlan(dp=4, gc=True), "DP+GC"),
+            (ExecutionPlan(dp=4, zero=ZeroStage.ZERO_DP), "ZeRO-DP"),
+            (ExecutionPlan(dp=1, zero=ZeroStage.OFFLOAD, ga_steps=2), "ZeRO-Offload+GA"),
+            (ExecutionPlan(tp=4), "TP"),
+            (ExecutionPlan(pp=4, micro_batches=4), "PP"),
+            (ExecutionPlan(tp=2, pp=2, micro_batches=2), "TP+PP"),
+            (ExecutionPlan(dp=2, tp=2), "TP+DP"),
+            (ExecutionPlan(dp=2, tp=2, pp=2, micro_batches=2), "3D"),
+        ],
+    )
+    def test_family_names(self, plan, family):
+        assert plan.family == family
+
+    def test_describe_includes_sizes(self):
+        plan = ExecutionPlan(dp=4, tp=2, pp=2, micro_batches=4, gc=True)
+        text = plan.describe()
+        assert "TP(2)" in text and "PP(2)" in text and "DP(4)" in text
+        assert "GC" in text and "m=4" in text
+
+    def test_describe_pure_dp(self):
+        assert ExecutionPlan(dp=1).describe() == "DP(1)"
+
+
+class TestHashabilityProperties:
+    plans = st.builds(
+        ExecutionPlan,
+        dp=st.integers(1, 8),
+        ga_steps=st.sampled_from([1, 2, 4]),
+        gc=st.booleans(),
+        zero=st.sampled_from([ZeroStage.NONE, ZeroStage.ZERO_DP, ZeroStage.OFFLOAD]),
+    )
+
+    @given(plan=plans)
+    def test_plans_hashable_and_equal_by_value(self, plan):
+        clone = ExecutionPlan(
+            dp=plan.dp, tp=plan.tp, pp=plan.pp, zero=plan.zero,
+            ga_steps=plan.ga_steps, micro_batches=plan.micro_batches, gc=plan.gc,
+        )
+        assert clone == plan
+        assert hash(clone) == hash(plan)
+        assert len({plan, clone}) == 1
+
+    @given(plan=plans)
+    def test_family_consistent_with_flags(self, plan):
+        family = plan.family
+        if plan.zero == ZeroStage.OFFLOAD:
+            assert family.startswith("ZeRO-Offload")
+        elif plan.zero == ZeroStage.ZERO_DP:
+            assert family.startswith("ZeRO-DP")
+        if plan.gc:
+            assert family.endswith("GC")

@@ -1,0 +1,35 @@
+"""Deterministic seed-derivation behaviour."""
+
+from __future__ import annotations
+
+from repro.rng import derive_seed, rng_for
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_scope_separates_streams(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_base_seed_separates_streams(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_scope_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab",) and ("a", "b") must not collide.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+
+class TestRngFor:
+    def test_same_scope_same_draws(self):
+        a = rng_for(7, "x").random(5)
+        b = rng_for(7, "x").random(5)
+        assert (a == b).all()
+
+    def test_different_scope_different_draws(self):
+        a = rng_for(7, "x").random(5)
+        b = rng_for(7, "y").random(5)
+        assert not (a == b).all()

@@ -1,0 +1,140 @@
+"""Sensitivity curves, best-plan lookup, and minimum-resource search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import PAPER_CLUSTER, ResourceVector
+from repro.models import GPT2, ROBERTA
+from repro.perfmodel import ResourceShape
+from repro.plans import ExecutionPlan
+from repro.scheduler import (
+    Job,
+    JobSpec,
+    SensitivityAnalyzer,
+    default_plan_space,
+)
+
+
+@pytest.fixture(scope="module")
+def analyzer(fitted_store) -> SensitivityAnalyzer:
+    return SensitivityAnalyzer(fitted_store, PAPER_CLUSTER)
+
+
+def _job(model=GPT2, gpus=8, plan=None) -> Job:
+    plan = plan or ExecutionPlan(dp=gpus, ga_steps=2 if gpus == 8 else 1)
+    spec = JobSpec(
+        job_id="t", model=model, global_batch=model.global_batch_size,
+        requested=ResourceVector(gpus, gpus * 4, 0.0),
+        initial_plan=plan, total_samples=1e5, submit_time=0.0,
+    )
+    return Job(spec=spec)
+
+
+class TestBestForShape:
+    def test_returns_plan_matching_gpus(self, analyzer):
+        best = analyzer.best_for_shape(GPT2, 16, ResourceShape.packed(8, cpus=32))
+        assert best is not None
+        assert best.plan.num_gpus == 8
+        assert best.throughput > 0
+
+    def test_zero_gpus_none(self, analyzer):
+        assert analyzer.best_for_shape(GPT2, 16, ResourceShape.packed(0)) is None
+
+    def test_cached_and_deterministic(self, analyzer):
+        shape = ResourceShape.packed(4, cpus=16)
+        a = analyzer.best_for_shape(GPT2, 16, shape)
+        b = analyzer.best_for_shape(GPT2, 16, shape)
+        assert a is b  # same cache entry
+
+    def test_small_model_space_restricted(self, analyzer):
+        space = default_plan_space(ROBERTA)
+        best = analyzer.best_for_shape(
+            ROBERTA, 64, ResourceShape.packed(8, cpus=32), space=space
+        )
+        assert best is not None
+        assert best.plan.tp == 1 and best.plan.pp == 1
+
+
+class TestGpuCurve:
+    def test_envelope_monotone(self, analyzer):
+        curve = analyzer.gpu_curve(GPT2, 16, max_gpus=16)
+        env = curve.envelope
+        assert env[0] == 0.0
+        assert all(b >= a for a, b in zip(env, env[1:]))
+
+    def test_slopes_consistent_with_envelope(self, analyzer):
+        curve = analyzer.gpu_curve(GPT2, 16, max_gpus=16)
+        for g in range(0, 15):
+            assert curve.slope_up(g) == pytest.approx(
+                curve.envelope[g + 1] - curve.envelope[g]
+            )
+        assert curve.slope_down(0) == 0.0
+
+    def test_lookahead_crosses_plateaus(self, analyzer):
+        curve = analyzer.gpu_curve(GPT2, 16, max_gpus=16)
+        # Wherever the unit slope is zero before the curve tops out, the
+        # lookahead must still see the next rise.
+        top = max(range(17), key=lambda g: curve.envelope[g])
+        for g in range(top):
+            if curve.slope_up(g) == 0.0:
+                assert curve.lookahead_slope_up(g) > 0.0
+
+    def test_next_better_count_none_at_top(self, analyzer):
+        curve = analyzer.gpu_curve(GPT2, 16, max_gpus=16)
+        assert curve.next_better_count(16) is None
+
+    def test_out_of_range_clamped(self, analyzer):
+        curve = analyzer.gpu_curve(GPT2, 16, max_gpus=8)
+        assert curve.throughput_at(99) == curve.throughput_at(8)
+        assert curve.throughput_at(-1) == 0.0
+
+
+class TestMinRes:
+    def test_min_res_never_exceeds_request(self, analyzer):
+        job = _job(gpus=8)
+        found = analyzer.find_min_res(job)
+        assert found is not None
+        min_res, plan = found
+        assert min_res.gpus <= 8
+        assert min_res.cpus <= 32
+        assert plan.num_gpus == min_res.gpus
+
+    def test_min_res_matches_baseline_performance(self, analyzer, fitted_store):
+        job = _job(gpus=8)
+        found = analyzer.find_min_res(job)
+        assert found is not None
+        min_res, plan = found
+        perf = fitted_store.get(GPT2)
+        baseline = perf.throughput(
+            job.spec.initial_plan, ResourceShape.packed(8, cpus=32), 16
+        )
+        achieved = perf.throughput(
+            plan, ResourceShape.packed(min_res.gpus, cpus=min_res.cpus), 16
+        )
+        assert achieved >= baseline * 0.999
+
+    def test_bad_initial_plan_shrinks_demand(self, analyzer):
+        # A deliberately poor initial plan (offload on 8 GPUs) should be
+        # matchable with far fewer GPUs under a better plan.
+        from repro.plans import ZeroStage
+
+        bad = ExecutionPlan(dp=8, zero=ZeroStage.OFFLOAD, ga_steps=2)
+        job = _job(gpus=8, plan=bad)
+        found = analyzer.find_min_res(job)
+        assert found is not None
+        assert found[0].gpus < 8
+
+
+class TestCpuSlopes:
+    def test_non_offload_best_has_zero_cpu_slope(self, analyzer):
+        shape = ResourceShape.packed(8, cpus=32)
+        best = analyzer.best_for_shape(GPT2, 16, shape)
+        if not best.plan.uses_offload:
+            assert analyzer.cpu_slope(GPT2, 16, shape) == pytest.approx(
+                0.0, abs=1e-6
+            )
+
+    def test_cpu_slope_down_guards_floor(self, analyzer):
+        shape = ResourceShape.packed(4, cpus=4)  # at the 1-CPU/GPU floor
+        assert analyzer.cpu_slope_down(GPT2, 16, shape) == float("inf")

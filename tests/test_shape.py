@@ -1,0 +1,82 @@
+"""ResourceShape and Interconnect environment."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import PAPER_CLUSTER, Placement, ResourceVector
+from repro.perfmodel import Interconnect, ResourceShape
+
+
+class TestInterconnect:
+    def test_from_cluster_uses_paper_bandwidths(self):
+        env = Interconnect.from_cluster(PAPER_CLUSTER)
+        assert env.intra_bw == PAPER_CLUSTER.node.intra_bw
+        assert env.inter_bw == PAPER_CLUSTER.inter_bw
+        assert env.intra_bw > env.inter_bw > env.pcie_bw
+
+
+class TestPackedShape:
+    def test_zero_gpus(self):
+        shape = ResourceShape.packed(0)
+        assert shape.gpus == 0 and shape.num_nodes == 0
+        assert not shape.spans_nodes
+
+    def test_single_node(self):
+        shape = ResourceShape.packed(8)
+        assert shape.num_nodes == 1
+        assert shape.min_gpus_per_node == 8
+        assert shape.cpus == 8  # defaults to 1 CPU/GPU
+
+    def test_ragged_tail(self):
+        shape = ResourceShape.packed(12, node_size=8)
+        assert shape.num_nodes == 2
+        assert shape.min_gpus_per_node == 4
+        assert shape.spans_nodes
+
+    @given(gpus=st.integers(1, 64))
+    def test_node_count_consistent(self, gpus):
+        shape = ResourceShape.packed(gpus, node_size=8)
+        assert (shape.num_nodes - 1) * 8 < gpus <= shape.num_nodes * 8
+        assert 1 <= shape.min_gpus_per_node <= 8
+
+    def test_with_cpus_replaces_only_cpus(self):
+        shape = ResourceShape.packed(8).with_cpus(64)
+        assert shape.cpus == 64
+        assert shape.gpus == 8
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceShape(gpus=-1, num_nodes=1, min_gpus_per_node=1, cpus=1)
+        with pytest.raises(ValueError):
+            ResourceShape(gpus=4, num_nodes=0, min_gpus_per_node=4, cpus=4)
+
+
+class TestFromPlacement:
+    def test_matches_placement_structure(self):
+        placement = Placement(
+            {
+                0: ResourceVector(gpus=8, cpus=16),
+                1: ResourceVector(gpus=2, cpus=4),
+            }
+        )
+        shape = ResourceShape.from_placement(placement)
+        assert shape.gpus == 10
+        assert shape.num_nodes == 2
+        assert shape.min_gpus_per_node == 2
+        assert shape.cpus == 20
+
+    def test_cpu_only_nodes_do_not_count(self):
+        placement = Placement(
+            {0: ResourceVector(gpus=4, cpus=8), 1: ResourceVector(cpus=8)}
+        )
+        shape = ResourceShape.from_placement(placement)
+        assert shape.num_nodes == 1
+        assert shape.min_gpus_per_node == 4
+
+    def test_empty_placement(self):
+        shape = ResourceShape.from_placement(Placement.empty())
+        assert shape.gpus == 0
+        assert shape.num_nodes == 0

@@ -1,0 +1,137 @@
+"""Synthetic testbed: determinism, noise, feasibility, profiling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import PAPER_CLUSTER
+from repro.errors import OutOfMemoryError
+from repro.models import GPT2, LLAMA2_7B, ROBERTA
+from repro.oracle import (
+    SyntheticTestbed,
+    build_perf_model,
+    collect_samples,
+    default_profile_configs,
+)
+from repro.perfmodel import ResourceShape
+from repro.plans import ExecutionPlan, ZeroStage
+from repro.units import GB
+
+PLAN8 = ExecutionPlan(dp=8, ga_steps=2)
+SHAPE8 = ResourceShape.packed(8, cpus=32)
+
+
+class TestDeterminism:
+    def test_true_throughput_deterministic(self, paper_testbed):
+        a = paper_testbed.true_throughput(GPT2, PLAN8, SHAPE8, 16)
+        b = paper_testbed.true_throughput(GPT2, PLAN8, SHAPE8, 16)
+        assert a == b
+
+    def test_same_seed_same_truth(self):
+        a = SyntheticTestbed(PAPER_CLUSTER, seed=5)
+        b = SyntheticTestbed(PAPER_CLUSTER, seed=5)
+        assert a.true_throughput(GPT2, PLAN8, SHAPE8, 16) == b.true_throughput(
+            GPT2, PLAN8, SHAPE8, 16
+        )
+
+    def test_different_seed_different_truth(self):
+        a = SyntheticTestbed(PAPER_CLUSTER, seed=5)
+        b = SyntheticTestbed(PAPER_CLUSTER, seed=6)
+        assert a.true_throughput(GPT2, PLAN8, SHAPE8, 16) != b.true_throughput(
+            GPT2, PLAN8, SHAPE8, 16
+        )
+
+    def test_measurement_noise_varies_by_run_id(self, paper_testbed):
+        m0 = paper_testbed.measure(GPT2, PLAN8, SHAPE8, 16, run_id=0)
+        m1 = paper_testbed.measure(GPT2, PLAN8, SHAPE8, 16, run_id=1)
+        true = paper_testbed.true_throughput(GPT2, PLAN8, SHAPE8, 16)
+        assert m0 != m1
+        assert abs(m0 - true) / true < 0.10  # noise is small
+
+    def test_profiled_fwd_ref_positive(self, paper_testbed):
+        assert paper_testbed.profiled_fwd_ref(GPT2) > 0
+        # Available even for models that cannot fit one GPU.
+        assert paper_testbed.profiled_fwd_ref(LLAMA2_7B) > 0
+
+
+class TestFeasibility:
+    def test_oom_raises(self, paper_testbed):
+        plan = ExecutionPlan(dp=1)  # GPT-2 b=16 without GA/GC: activations OOM
+        shape = ResourceShape.packed(1, cpus=4)
+        with pytest.raises(OutOfMemoryError):
+            paper_testbed.true_throughput(GPT2, plan, shape, 16)
+
+    def test_shape_plan_mismatch_rejected(self, paper_testbed):
+        with pytest.raises(OutOfMemoryError):
+            paper_testbed.check_feasible(GPT2, PLAN8, ResourceShape.packed(4, cpus=4), 16)
+
+    def test_host_memory_override(self, paper_testbed):
+        plan = ExecutionPlan(dp=1, zero=ZeroStage.OFFLOAD, ga_steps=16)
+        shape = ResourceShape.packed(1, cpus=8)
+        assert paper_testbed.is_feasible(GPT2, plan, shape, 16)
+        # A 10 GB host cap kills ZeRO-Offload (Fig. 3b's final stage).
+        assert not paper_testbed.is_feasible(
+            GPT2, plan, shape, 16, host_mem_override=10 * GB
+        )
+
+    def test_gpu_memory_override(self, paper_testbed):
+        assert not paper_testbed.is_feasible(
+            GPT2, PLAN8, SHAPE8, 16, gpu_mem_override=10 * GB
+        )
+
+
+class TestPhysicalShape:
+    """Directional behaviours the scheduler relies on."""
+
+    def test_dp_scaling_speeds_up(self, paper_testbed):
+        thr = {}
+        for dp in (2, 4, 8):
+            plan = ExecutionPlan(dp=dp, ga_steps=16 // dp)
+            shape = ResourceShape.packed(dp, cpus=4 * dp)
+            thr[dp] = paper_testbed.true_throughput(GPT2, plan, shape, 16)
+        assert thr[8] > thr[4] > thr[2]
+
+    def test_offload_much_slower_than_zero_dp_for_small_models(self, paper_testbed):
+        batch = ROBERTA.global_batch_size
+        shape = ResourceShape.packed(4, cpus=16)
+        zero = paper_testbed.true_throughput(
+            ROBERTA, ExecutionPlan(dp=4, zero=ZeroStage.ZERO_DP), shape, batch
+        )
+        off = paper_testbed.true_throughput(
+            ROBERTA, ExecutionPlan(dp=4, zero=ZeroStage.OFFLOAD), shape, batch
+        )
+        assert off < zero  # "ZeRO-Offload nearly always performs the worst"
+
+    def test_more_cpus_speed_offload(self, paper_testbed):
+        plan = ExecutionPlan(dp=1, zero=ZeroStage.OFFLOAD, ga_steps=32, gc=True)
+        few = paper_testbed.true_throughput(
+            LLAMA2_7B, plan, ResourceShape.packed(1, cpus=4), 32
+        )
+        many = paper_testbed.true_throughput(
+            LLAMA2_7B, plan, ResourceShape.packed(1, cpus=16), 32
+        )
+        assert many > few
+
+
+class TestProfiler:
+    def test_default_configs_meet_paper_requirements(self, paper_testbed):
+        for model in (GPT2, ROBERTA, LLAMA2_7B):
+            configs = default_profile_configs(
+                paper_testbed, model, model.global_batch_size
+            )
+            assert len(configs) >= 7
+            offload = [c for c in configs if c.plan.uses_offload]
+            assert len(offload) >= 3
+            # CPU variation across offload runs identifies k_opt_off.
+            assert len({c.shape.cpus for c in offload}) >= 2
+
+    def test_collect_samples_all_positive(self, paper_testbed):
+        configs = default_profile_configs(paper_testbed, GPT2, 16)
+        samples = collect_samples(paper_testbed, GPT2, 16, configs)
+        assert len(samples) == len(configs)
+        assert all(s.throughput > 0 for s in samples)
+
+    def test_build_perf_model_quality(self, gpt2_perf):
+        perf, report = gpt2_perf
+        assert report.rmsle < 0.1
+        assert report.num_offload_samples >= 3

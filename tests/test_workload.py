@@ -1,0 +1,142 @@
+"""Synthetic workload generation and trace variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import PAPER_CLUSTER
+from repro.models import LARGE_MODEL_NAMES
+from repro.oracle import SyntheticTestbed
+from repro.perfmodel import ResourceShape
+from repro.scheduler import JobPriority
+from repro.sim import (
+    WorkloadConfig,
+    generate_trace,
+    to_best_plan_trace,
+    to_multi_tenant_trace,
+    with_large_model_share,
+)
+from repro.sim.workload import MODEL_MIN_GPUS, _feasible_plans
+
+SEED = 19
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return SyntheticTestbed(PAPER_CLUSTER, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def base_trace(testbed):
+    return generate_trace(WorkloadConfig(num_jobs=40, seed=SEED), testbed)
+
+
+class TestGeneration:
+    def test_job_count_and_ordering(self, base_trace):
+        assert len(base_trace) == 40
+        submits = [j.submit_time for j in base_trace]
+        assert submits == sorted(submits)
+
+    def test_deterministic(self, testbed):
+        a = generate_trace(WorkloadConfig(num_jobs=15, seed=SEED), testbed)
+        b = generate_trace(WorkloadConfig(num_jobs=15, seed=SEED), testbed)
+        assert a.jobs == b.jobs
+
+    def test_different_seed_differs(self, testbed):
+        a = generate_trace(WorkloadConfig(num_jobs=15, seed=1), testbed)
+        b = generate_trace(WorkloadConfig(num_jobs=15, seed=2), testbed)
+        assert a.jobs != b.jobs
+
+    def test_every_initial_plan_feasible(self, base_trace, testbed):
+        for job in base_trace:
+            shape = ResourceShape.packed(
+                job.requested_gpus, cpus=job.requested_gpus * 4
+            )
+            assert testbed.is_feasible(
+                job.model, job.initial_plan, shape, job.global_batch
+            ), f"{job.job_id} has an infeasible initial plan"
+
+    def test_model_min_gpu_floors(self, base_trace):
+        for job in base_trace:
+            floor = MODEL_MIN_GPUS.get(job.model_name, 1)
+            assert job.requested_gpus >= floor
+
+    def test_durations_within_bounds(self, base_trace):
+        cfg = WorkloadConfig()
+        for job in base_trace:
+            assert cfg.min_duration <= job.duration <= cfg.max_duration
+
+    def test_zero_weight_excludes_model(self, testbed):
+        trace = generate_trace(
+            WorkloadConfig(
+                num_jobs=30, seed=SEED, model_weights={"llama-30b": 0.0}
+            ),
+            testbed,
+        )
+        assert all(j.model_name != "llama-30b" for j in trace)
+
+
+class TestVariants:
+    def test_best_plan_trace_improves_throughput(self, base_trace, testbed):
+        bp = to_best_plan_trace(base_trace, testbed)
+        improved = 0
+        for before, after in zip(base_trace, bp):
+            shape = ResourceShape.packed(
+                before.requested_gpus, cpus=before.requested_gpus * 4
+            )
+            thr_before = testbed.true_throughput(
+                before.model, before.initial_plan, shape, before.global_batch
+            )
+            thr_after = testbed.true_throughput(
+                after.model, after.initial_plan, shape, after.global_batch
+            )
+            assert thr_after >= thr_before * 0.999
+            improved += thr_after > thr_before * 1.01
+        assert improved > 0  # some random plans were genuinely bad
+
+    def test_multi_tenant_split(self, base_trace):
+        mt = to_multi_tenant_trace(base_trace, seed=SEED)
+        tenants = {j.tenant for j in mt}
+        assert tenants == {"tenant-a", "tenant-b"}
+        for job in mt:
+            if job.tenant == "tenant-a":
+                assert job.priority == JobPriority.GUARANTEED
+            else:
+                assert job.priority == JobPriority.BEST_EFFORT
+
+    def test_large_model_share_scales_weights(self, testbed):
+        low = generate_trace(
+            with_large_model_share(WorkloadConfig(num_jobs=60, seed=SEED), 0.5),
+            testbed,
+        )
+        high = generate_trace(
+            with_large_model_share(WorkloadConfig(num_jobs=60, seed=SEED), 3.0),
+            testbed,
+        )
+
+        def large_count(trace):
+            return sum(1 for j in trace if j.model_name in LARGE_MODEL_NAMES)
+
+        assert large_count(high) > large_count(low)
+
+    def test_load_scaling_compresses_arrivals(self, base_trace):
+        fast = base_trace.scaled_load(2.0)
+        assert fast.span == pytest.approx(base_trace.span / 2.0)
+        assert len(fast) == len(base_trace)
+        with pytest.raises(ValueError):
+            base_trace.scaled_load(0.0)
+
+
+class TestFeasiblePlanPool:
+    def test_small_models_have_dp_family_pool(self, testbed):
+        from repro.models import ROBERTA
+
+        plans = _feasible_plans(ROBERTA, 4, testbed)
+        assert plans
+        assert all(p.tp == 1 and p.pp == 1 for p in plans)
+
+    def test_large_models_include_3d(self, testbed):
+        from repro.models import LLAMA2_7B
+
+        plans = _feasible_plans(LLAMA2_7B, 8, testbed)
+        assert any(p.tp > 1 or p.pp > 1 for p in plans)
