@@ -1,0 +1,151 @@
+"""Plan-evaluation engine: cold vs. warm latency and multi-round hit rate.
+
+Not a paper artifact — this measures the memoization the unified engine adds
+over re-enumerating and re-scoring the plan space on every query:
+
+* **cold vs. warm** — the first ``best()``/``curve()`` for a (model, batch,
+  shape) pays enumeration + a fused scoring pass; repeats are dictionary
+  lookups;
+* **multi-round schedule** — a synthetic sequence of scheduling rounds
+  (slope probes at shifting GPU counts, CPU probes, curve reads — the access
+  pattern Rubick's Alg. 1 generates) against the engine's hit/miss counters,
+  including a mid-run online refit of one model to show per-model
+  invalidation only re-evaluates that model.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.cluster import PAPER_CLUSTER
+from repro.models import GPT2, LLAMA2_7B, T5
+from repro.perfmodel import ResourceShape
+from repro.planeval import PlanEvalEngine
+from repro.scheduler import PerfModelStore
+
+MODELS = (GPT2, T5, LLAMA2_7B)
+ROUNDS = 12
+
+
+def _timed(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def _run_rounds(engine, rounds: int) -> None:
+    """One Rubick-like access pattern: curve reads + GPU/CPU slope probes."""
+    for rnd in range(rounds):
+        for model in MODELS:
+            batch = model.global_batch_size
+            curve = engine.curve(model, batch)
+            for gpus in range(1 + rnd % 4, 17, 4):
+                curve.slope_up(gpus)
+                shape = ResourceShape.packed(gpus, cpus=gpus * 4)
+                engine.best(model, batch, shape)
+                # CPU-slope probe: same shape-class, different CPU count.
+                engine.best(model, batch, shape.with_cpus(shape.cpus + 1))
+
+
+def _phase_stats(engine, before) -> dict[str, float]:
+    after = engine.stats()
+    hits = after.hits - before.hits
+    misses = after.misses - before.misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / max(hits + misses, 1),
+        "evals": after.evals - before.evals,
+        "invalidations": after.invalidations - before.invalidations,
+    }
+
+
+def _simulated_rounds(perf_store) -> dict[str, dict[str, float]]:
+    """Warm-up, steady-state rounds, then rounds after one online refit.
+
+    Runs against a private store copy — the refit below must not leak a
+    version bump into the session-shared ``perf_store`` fixture.
+    """
+    store = PerfModelStore()
+    for model in MODELS:
+        store.add(perf_store.get(model))
+    engine = PlanEvalEngine(PAPER_CLUSTER, perf_store=store)
+    _run_rounds(engine, 4)  # cover all four probe patterns
+
+    before = engine.stats()
+    _run_rounds(engine, ROUNDS)
+    steady = _phase_stats(engine, before)
+
+    # Online refit of one model type: bump its store generation.
+    store.add(store.get(T5))
+    before = engine.stats()
+    _run_rounds(engine, ROUNDS)
+    refit = _phase_stats(engine, before)
+    return {"steady": steady, "refit": refit}
+
+
+def test_planeval_cache(benchmark, plan_engine, perf_store):
+    engine = plan_engine
+    shape = ResourceShape.packed(16, cpus=64)
+
+    def experiment():
+        out = {}
+        cold_best, _ = _timed(
+            lambda: engine.best(GPT2, GPT2.global_batch_size, shape)
+        )
+        warm_best, _ = _timed(
+            lambda: engine.best(GPT2, GPT2.global_batch_size, shape)
+        )
+        cold_curve, _ = _timed(
+            lambda: engine.curve(T5, T5.global_batch_size, max_gpus=32)
+        )
+        warm_curve, _ = _timed(
+            lambda: engine.curve(T5, T5.global_batch_size, max_gpus=32)
+        )
+        out["cold_best_ms"] = cold_best * 1e3
+        out["warm_best_ms"] = warm_best * 1e3
+        out["cold_curve_ms"] = cold_curve * 1e3
+        out["warm_curve_ms"] = warm_curve * 1e3
+        out["rounds"] = _simulated_rounds(perf_store)
+        return out
+
+    out = run_once(benchmark, experiment)
+    steady = out["rounds"]["steady"]
+    refit = out["rounds"]["refit"]
+    rows = [
+        ("best(): cold (ms)", f"{out['cold_best_ms']:.3f}"),
+        ("best(): warm (ms)", f"{out['warm_best_ms']:.3f}"),
+        ("best(): speedup", f"{out['cold_best_ms'] / max(out['warm_best_ms'], 1e-9):.0f}x"),
+        ("curve(): cold (ms)", f"{out['cold_curve_ms']:.3f}"),
+        ("curve(): warm (ms)", f"{out['warm_curve_ms']:.3f}"),
+        (f"steady state ({ROUNDS} rounds): lookups",
+         f"{steady['hits'] + steady['misses']:.0f}"),
+        ("steady state: hit rate", f"{steady['hit_rate']:.1%}"),
+        ("steady state: plan evaluations", f"{steady['evals']:.0f}"),
+        (f"after 1-model refit ({ROUNDS} rounds): hit rate",
+         f"{refit['hit_rate']:.1%}"),
+        ("after refit: plan evaluations", f"{refit['evals']:.0f}"),
+        ("after refit: models invalidated", f"{refit['invalidations']:.0f}"),
+    ]
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title="plan-evaluation engine cache behavior",
+        )
+    )
+
+    # Warm lookups must be far cheaper than cold evaluation; a warmed-up
+    # schedule must be fully cache-served; and an online refit of one model
+    # must invalidate exactly that model — the other models' entries stay
+    # warm, so the hit rate stays high instead of collapsing to cold.
+    assert out["warm_best_ms"] < out["cold_best_ms"] / 10
+    assert out["warm_curve_ms"] < out["cold_curve_ms"] / 10
+    assert steady["hit_rate"] > 0.999
+    assert steady["evals"] == 0
+    assert refit["invalidations"] == 1
+    assert refit["hit_rate"] > 0.6

@@ -13,6 +13,7 @@ import pytest
 from repro.cluster import PAPER_CLUSTER
 from repro.models import all_models
 from repro.oracle import SyntheticTestbed, build_perf_model
+from repro.planeval import PlanEvalEngine
 from repro.scheduler import PerfModelStore
 
 #: One seed for the whole benchmark suite — results are reproducible.  The
@@ -37,6 +38,15 @@ def perf_store(testbed) -> PerfModelStore:
         )
         store.add(perf)
     return store
+
+
+@pytest.fixture()
+def plan_engine(perf_store) -> PlanEvalEngine:
+    """A fresh plan-evaluation engine over the shared fitted models.
+
+    Function-scoped on purpose: cache-behavior benchmarks need cold counters.
+    """
+    return PlanEvalEngine(PAPER_CLUSTER, perf_store=perf_store)
 
 
 def run_once(benchmark, fn):

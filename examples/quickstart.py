@@ -69,7 +69,6 @@ def main() -> None:
         cfg = curve.config_at(gpus)
         desc = cfg.plan.describe() if cfg else "-"
         print(f"  {gpus} GPUs: {curve.throughput_at(gpus):7.1f} ex/s  via {desc}")
-    del shape8
 
 
 if __name__ == "__main__":

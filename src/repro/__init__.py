@@ -49,6 +49,7 @@ from repro.plans import (
     estimate_memory,
     feasible_gpu_counts,
 )
+from repro.planeval import EngineStats, PlanEvalEngine
 from repro.scheduler import (
     Allocation,
     Job,
@@ -82,6 +83,7 @@ __all__ = [
     "CATALOG",
     "Cluster",
     "ClusterSpec",
+    "EngineStats",
     "ExecutionPlan",
     "GPT2",
     "Interconnect",
@@ -96,6 +98,7 @@ __all__ = [
     "PerfModelStore",
     "PerfParams",
     "Placement",
+    "PlanEvalEngine",
     "ResourceShape",
     "ResourceVector",
     "RubickPolicy",

@@ -54,6 +54,14 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_stats_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--planeval-stats",
+        action="store_true",
+        help="print plan-evaluation cache statistics after the run",
+    )
+
+
 def cmd_generate_trace(args) -> int:
     cluster = _cluster_from_args(args)
     testbed = SyntheticTestbed(cluster, seed=args.seed)
@@ -79,7 +87,39 @@ def _run_one(policy_name: str, trace, cluster, seed: int):
     sim = Simulator(
         cluster, policy, testbed=SyntheticTestbed(cluster, seed=seed), seed=seed
     )
-    return sim.run(trace)
+    return sim.run(trace), policy, sim
+
+
+def _print_planeval_stats(policy_name: str, policy, sim) -> None:
+    """Cache counters of the policy's and the simulator's plan engines."""
+    engines = [
+        (f"{policy_name} (fitted models)", getattr(policy, "engine", None)),
+        ("simulator (ground truth)", sim.plan_engine),
+    ]
+    rows = []
+    for label, engine in engines:
+        if engine is None:
+            rows.append((label, "-", "-", "-", "-", "-"))
+            continue
+        s = engine.stats()
+        rows.append(
+            (
+                label,
+                s.hits,
+                s.misses,
+                s.evals,
+                s.invalidations,
+                f"{s.hit_rate:.1%}",
+            )
+        )
+    print(
+        format_table(
+            ["plan-eval engine", "hits", "misses", "plan evals",
+             "invalidations", "hit rate"],
+            rows,
+            title="plan-evaluation cache statistics",
+        )
+    )
 
 
 def _load_or_generate(args, cluster):
@@ -95,7 +135,7 @@ def _load_or_generate(args, cluster):
 def cmd_simulate(args) -> int:
     cluster = _cluster_from_args(args)
     trace = _load_or_generate(args, cluster)
-    result = _run_one(args.policy, trace, cluster, args.seed)
+    result, policy, sim = _run_one(args.policy, trace, cluster, args.seed)
     summary = result.summary()
     print(
         format_table(
@@ -104,6 +144,8 @@ def cmd_simulate(args) -> int:
             title=f"{args.policy} on {trace.name} ({len(trace)} jobs)",
         )
     )
+    if args.planeval_stats:
+        _print_planeval_stats(args.policy, policy, sim)
     if args.output:
         save_result(result, args.output)
         print(f"wrote result to {args.output}")
@@ -118,7 +160,8 @@ def cmd_compare(args) -> int:
     if unknown:
         print(f"unknown policies: {unknown}; known: {sorted(POLICIES)}")
         return 2
-    results = [_run_one(name, trace, cluster, args.seed) for name in names]
+    runs = [_run_one(name, trace, cluster, args.seed) for name in names]
+    results = [res for res, _, _ in runs]
     ref = results[0]
     rows = [
         (
@@ -140,6 +183,9 @@ def cmd_compare(args) -> int:
             f"{cluster.total_gpus} GPUs",
         )
     )
+    if args.planeval_stats:
+        for (res, policy, sim), name in zip(runs, names):
+            _print_planeval_stats(name, policy, sim)
     return 0
 
 
@@ -182,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", help="trace JSON (generated if omitted)")
     p.add_argument("--jobs", type=int, default=80)
     p.add_argument("--output", help="write the result JSON here")
+    _add_stats_arg(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("compare", help="run several schedulers on one trace")
@@ -189,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policies", default="rubick,sia,synergy")
     p.add_argument("--trace", help="trace JSON (generated if omitted)")
     p.add_argument("--jobs", type=int, default=80)
+    _add_stats_arg(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("profile", help="fit a performance model for a model")

@@ -1,0 +1,115 @@
+"""Best-plan configurations and GPU sensitivity curves (paper §5.2, Fig. 6).
+
+These value types are produced by :class:`repro.planeval.PlanEvalEngine` and
+consumed by every scheduling policy.  A sensitivity curve gives, for each
+amount of one resource type (others held fixed), the best achievable
+predicted throughput over *all* permitted execution plans — the upper
+envelope of the per-plan curves.  The curves serve the scheduling policy
+twice:
+
+* their **slopes** rank jobs by marginal benefit, steering allocation toward
+  the most sensitive jobs; and
+* they factor execution planning out of the allocation search: the policy
+  reasons over resource amounts and asks the curve for the matching best plan
+  (``GetBestPlan``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.plans.plan import ExecutionPlan
+
+
+@dataclass(frozen=True)
+class BestConfig:
+    """Best predicted configuration at one resource amount."""
+
+    plan: ExecutionPlan
+    throughput: float
+
+
+@dataclass(frozen=True)
+class GpuCurve:
+    """Best-plan throughput vs. GPU count (upper envelope, Fig. 6).
+
+    ``envelope[g]`` is the best throughput achievable with *up to* ``g`` GPUs
+    — flat across GPU counts where no plan uses exactly ``g`` (the paper:
+    "the curve remains flat for invalid GPU numbers").
+    """
+
+    max_gpus: int
+    raw: tuple[BestConfig | None, ...]  # index g: best plan using exactly g GPUs
+    envelope: tuple[float, ...]  # index g: best throughput with <= g GPUs
+    envelope_config: tuple[BestConfig | None, ...]
+
+    def throughput_at(self, gpus: int) -> float:
+        gpus = max(0, min(gpus, self.max_gpus))
+        return self.envelope[gpus]
+
+    def config_at(self, gpus: int) -> BestConfig | None:
+        gpus = max(0, min(gpus, self.max_gpus))
+        return self.envelope_config[gpus]
+
+    def slope_up(self, gpus: int, delta: int = 1) -> float:
+        """Throughput gained by the next ``delta`` GPUs."""
+        return (
+            self.throughput_at(gpus + delta) - self.throughput_at(gpus)
+        ) / delta
+
+    def slope_down(self, gpus: int, delta: int = 1) -> float:
+        """Throughput lost by giving up ``delta`` GPUs."""
+        if gpus <= 0:
+            return 0.0
+        delta = min(delta, gpus)
+        return (
+            self.throughput_at(gpus) - self.throughput_at(gpus - delta)
+        ) / delta
+
+    def next_better_count(self, gpus: int) -> int | None:
+        """Smallest GPU count above ``gpus`` where the envelope rises.
+
+        Gang constraints make the envelope a step function; unit-slope
+        signals read zero inside a flat run even when a large jump lies
+        ahead (e.g. 8 -> 16 GPUs for a 3D-parallel job).
+        """
+        here = self.throughput_at(gpus)
+        for g in range(max(gpus, 0) + 1, self.max_gpus + 1):
+            if self.envelope[g] > here + 1e-12:
+                return g
+        return None
+
+    def lookahead_slope_up(self, gpus: int) -> float:
+        """Per-GPU gain to the next envelope rise (0 if the curve is done)."""
+        nxt = self.next_better_count(gpus)
+        if nxt is None:
+            return 0.0
+        return (self.throughput_at(nxt) - self.throughput_at(gpus)) / (
+            nxt - gpus
+        )
+
+
+def build_envelope(limit: int, raw: Sequence[BestConfig | None]) -> GpuCurve:
+    """Assemble a :class:`GpuCurve` from per-count best configs.
+
+    ``raw[g]`` is the best config using exactly ``g`` GPUs (``raw[0]`` is
+    ``None``); the envelope carries the running maximum forward across GPU
+    counts where no plan exists.
+    """
+    envelope = [0.0]
+    env_cfg: list[BestConfig | None] = [None]
+    for g in range(1, limit + 1):
+        cand = raw[g]
+        if cand is not None and cand.throughput > envelope[-1]:
+            envelope.append(cand.throughput)
+            env_cfg.append(cand)
+        else:
+            envelope.append(envelope[-1])
+            env_cfg.append(env_cfg[-1])
+    return GpuCurve(
+        max_gpus=limit,
+        raw=tuple(raw),
+        envelope=tuple(envelope),
+        envelope_config=tuple(env_cfg),
+    )

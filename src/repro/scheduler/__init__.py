@@ -1,5 +1,11 @@
-"""Scheduling: jobs, sensitivity curves, the Rubick policy, and baselines."""
+"""Scheduling: jobs, sensitivity curves, the Rubick policy, and baselines.
 
+All plan selection routes through the unified plan-evaluation engine
+(`repro.planeval`); :class:`PlanEvalEngine` and :class:`EngineStats` are
+re-exported here for convenience.
+"""
+
+from repro.planeval import EngineStats, PlanEvalEngine
 from repro.scheduler.interfaces import (
     Allocation,
     PerfModelStore,
@@ -27,8 +33,10 @@ __all__ = [
     "Allocation",
     "BestConfig",
     "BestPlanSelector",
+    "EngineStats",
     "FixedPlanSelector",
     "GpuCurve",
+    "PlanEvalEngine",
     "Job",
     "JobPriority",
     "JobSpec",

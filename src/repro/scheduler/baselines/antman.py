@@ -5,12 +5,16 @@ guarantees *resources* rather than performance: guaranteed jobs receive
 exactly their requested allocation (gang-scheduled FIFO within the tenant
 quota, preempting best-effort jobs if needed); best-effort jobs run
 opportunistically on leftover GPUs and are preempted whenever a guaranteed
-job needs the space.  Plans and GPU counts are never reconfigured.
+job needs the space.  Plans and GPU counts are never reconfigured — AntMan
+performs no plan selection at all, so it accepts the shared
+:class:`~repro.planeval.PlanEvalEngine` only for interface uniformity with
+the other policies (CLI stats reporting); its decisions never consult it.
 """
 
 from __future__ import annotations
 
 from repro.cluster.state import Cluster
+from repro.planeval import PlanEvalEngine
 from repro.plans.memory import host_mem_demand_per_node
 from repro.scheduler.baselines.common import FreePool
 from repro.scheduler.interfaces import (
@@ -24,8 +28,11 @@ from repro.scheduler.job import Job, JobStatus
 class AntManPolicy(SchedulerPolicy):
     name = "antman"
 
-    def __init__(self, *, cpus_per_gpu: int = 4):
+    def __init__(
+        self, *, cpus_per_gpu: int = 4, engine: PlanEvalEngine | None = None
+    ):
         self.cpus_per_gpu = cpus_per_gpu
+        self.engine = engine
 
     def schedule(
         self, jobs: list[Job], cluster: Cluster, ctx: SchedulingContext

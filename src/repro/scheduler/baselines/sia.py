@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.plans.memory import host_mem_demand_per_node
 from repro.cluster.state import Cluster
+from repro.planeval import PlanEvalEngine
 from repro.scheduler.baselines.common import FreePool
 from repro.scheduler.interfaces import (
     Allocation,
@@ -28,22 +29,22 @@ from repro.scheduler.interfaces import (
 )
 from repro.scheduler.job import Job
 from repro.scheduler.selectors import ScaledDpSelector
-from repro.scheduler.sensitivity import SensitivityAnalyzer
+from repro.scheduler.sensitivity import bootstrap_analyzer
 
 
 class SiaPolicy(SchedulerPolicy):
     name = "sia"
 
-    def __init__(self, *, cpus_per_gpu: int = 4):
+    def __init__(
+        self, *, cpus_per_gpu: int = 4, engine: PlanEvalEngine | None = None
+    ):
         self.cpus_per_gpu = cpus_per_gpu
+        self.engine = engine
         self._selector: ScaledDpSelector | None = None
 
     def _ensure(self, ctx: SchedulingContext) -> ScaledDpSelector:
         if self._selector is None:
-            analyzer = SensitivityAnalyzer(
-                ctx.perf_store, ctx.cluster_spec, cpus_per_gpu=self.cpus_per_gpu
-            )
-            self._selector = ScaledDpSelector(analyzer)
+            self._selector = ScaledDpSelector(bootstrap_analyzer(self, ctx))
         return self._selector
 
     def schedule(

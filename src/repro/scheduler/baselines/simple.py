@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.plans.memory import host_mem_demand_per_node
 from repro.cluster.state import Cluster
 from repro.perfmodel.shape import ResourceShape
+from repro.planeval import PlanEvalEngine
 from repro.scheduler.baselines.common import FreePool
 from repro.scheduler.interfaces import (
     Allocation,
@@ -20,22 +21,22 @@ from repro.scheduler.interfaces import (
 )
 from repro.scheduler.job import Job
 from repro.scheduler.selectors import BestPlanSelector
-from repro.scheduler.sensitivity import SensitivityAnalyzer
+from repro.scheduler.sensitivity import bootstrap_analyzer
 
 
 class SimpleEqualPolicy(SchedulerPolicy):
     name = "simple"
 
-    def __init__(self, *, cpus_per_gpu: int = 4):
+    def __init__(
+        self, *, cpus_per_gpu: int = 4, engine: PlanEvalEngine | None = None
+    ):
         self.cpus_per_gpu = cpus_per_gpu
+        self.engine = engine
         self._selector: BestPlanSelector | None = None
 
     def _ensure(self, ctx: SchedulingContext) -> BestPlanSelector:
         if self._selector is None:
-            analyzer = SensitivityAnalyzer(
-                ctx.perf_store, ctx.cluster_spec, cpus_per_gpu=self.cpus_per_gpu
-            )
-            self._selector = BestPlanSelector(analyzer)
+            self._selector = BestPlanSelector(bootstrap_analyzer(self, ctx))
         return self._selector
 
     def schedule(

@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.cluster.resources import ResourceVector
 from repro.cluster.state import Cluster
 from repro.perfmodel.shape import ResourceShape
+from repro.planeval import PlanEvalEngine
 from repro.plans.memory import host_mem_demand_per_node
 from repro.scheduler.interfaces import (
     Allocation,
@@ -23,22 +24,22 @@ from repro.scheduler.interfaces import (
 from repro.scheduler.job import Job, JobStatus
 from repro.scheduler.baselines.common import FreePool
 from repro.scheduler.selectors import FixedPlanSelector
-from repro.scheduler.sensitivity import SensitivityAnalyzer
+from repro.scheduler.sensitivity import bootstrap_analyzer
 
 
 class SynergyPolicy(SchedulerPolicy):
     name = "synergy"
 
-    def __init__(self, *, cpus_per_gpu: int = 4):
+    def __init__(
+        self, *, cpus_per_gpu: int = 4, engine: PlanEvalEngine | None = None
+    ):
         self.cpus_per_gpu = cpus_per_gpu
+        self.engine = engine
         self._selector: FixedPlanSelector | None = None
 
     def _ensure(self, ctx: SchedulingContext) -> FixedPlanSelector:
         if self._selector is None:
-            analyzer = SensitivityAnalyzer(
-                ctx.perf_store, ctx.cluster_spec, cpus_per_gpu=self.cpus_per_gpu
-            )
-            self._selector = FixedPlanSelector(analyzer)
+            self._selector = FixedPlanSelector(bootstrap_analyzer(self, ctx))
         return self._selector
 
     def schedule(

@@ -38,17 +38,29 @@ class Allocation:
 class PerfModelStore:
     """Fitted performance models keyed by model type (paper §3 reuse).
 
-    ``version`` increments on every update so downstream caches (sensitivity
-    curves, best-plan lookups) can detect online refits and invalidate.
+    Two version counters let downstream caches detect online refits:
+
+    * ``version`` increments on *every* update (coarse, store-wide);
+    * ``model_version(name)`` increments only when that model type is
+      (re)fitted — the refit generation `repro.planeval.PlanEvalEngine`
+      keys its per-model invalidation to, so refitting one model leaves
+      every other model's memoized curves warm.
     """
 
     def __init__(self) -> None:
         self._models: dict[str, PerfModel] = {}
+        self._versions: dict[str, int] = {}
         self.version = 0
 
     def add(self, perf: PerfModel) -> None:
-        self._models[perf.model.name] = perf
+        name = perf.model.name
+        self._models[name] = perf
+        self._versions[name] = self._versions.get(name, 0) + 1
         self.version += 1
+
+    def model_version(self, name: str) -> int:
+        """Refit generation of one model type (0 if never fitted)."""
+        return self._versions.get(name, 0)
 
     def get(self, model: ModelSpec) -> PerfModel:
         try:

@@ -40,6 +40,7 @@ from repro.cluster.placement import Placement
 from repro.cluster.resources import ResourceVector
 from repro.cluster.state import Cluster
 from repro.perfmodel.shape import ResourceShape
+from repro.planeval import PlanEvalEngine
 from repro.plans.memory import host_mem_demand_per_node
 from repro.scheduler.interfaces import (
     Allocation,
@@ -53,7 +54,7 @@ from repro.scheduler.selectors import (
     PlanSelector,
     ScaledDpSelector,
 )
-from repro.scheduler.sensitivity import SensitivityAnalyzer
+from repro.scheduler.sensitivity import SensitivityAnalyzer, bootstrap_analyzer
 
 #: Slope below which an extra GPU is considered useless to a job.
 _EPS_SLOPE = 1e-9
@@ -192,6 +193,7 @@ class RubickPolicy(SchedulerPolicy):
         cpus_per_gpu: int = 4,
         replan_improvement_threshold: float = 0.15,
         growth_mode: str = "always",  # "never" | "slack" | "always"
+        engine: PlanEvalEngine | None = None,
     ):
         if growth_mode not in ("never", "slack", "always"):
             raise ValueError(f"unknown growth mode {growth_mode!r}")
@@ -200,17 +202,18 @@ class RubickPolicy(SchedulerPolicy):
         self.cpus_per_gpu = cpus_per_gpu
         self.replan_improvement_threshold = replan_improvement_threshold
         self.growth_mode = growth_mode
+        #: The shared plan-evaluation engine; built lazily from the first
+        #: scheduling context unless injected (e.g. by the CLI for stats).
+        self.engine = engine
         self._analyzer: SensitivityAnalyzer | None = None
         self._selector: PlanSelector | None = None
 
     # ------------------------------------------------------------------
-    # Lazy per-context construction (the analyzer caches across rounds)
+    # Lazy per-context construction (the engine memoizes across rounds)
     # ------------------------------------------------------------------
     def _ensure_helpers(self, ctx: SchedulingContext) -> PlanSelector:
         if self._analyzer is None:
-            self._analyzer = SensitivityAnalyzer(
-                ctx.perf_store, ctx.cluster_spec, cpus_per_gpu=self.cpus_per_gpu
-            )
+            self._analyzer = bootstrap_analyzer(self, ctx)
         if self._selector is None:
             if self.plan_mode == "best":
                 self._selector = BestPlanSelector(self._analyzer)

@@ -11,7 +11,13 @@ variants and baselines restrict it (paper §7.3):
   GPU count (Rubick-N, Synergy, AntMan).
 
 Selectors also expose sensitivity curves consistent with their restriction,
-so slope-based ranking reflects what each policy can actually do.
+so slope-based ranking reflects what each policy can actually do.  All
+scoring and memoization routes through the shared
+:class:`~repro.planeval.PlanEvalEngine` (``analyzer.engine``): restricted
+selectors hand the engine their candidate lists (``best_of``) and curve
+builders (``curve_of``) under a restriction key, and the engine's per-model
+refit versioning keeps every cached result consistent with online model
+updates — the selectors hold no caches of their own.
 """
 
 from __future__ import annotations
@@ -19,10 +25,10 @@ from __future__ import annotations
 import abc
 
 from repro.perfmodel.shape import ResourceShape
-from repro.plans.memory import host_mem_demand_per_node
-from repro.plans.plan import ExecutionPlan, ZeroStage
+from repro.planeval import BestConfig, GpuCurve
+from repro.plans.plan import ExecutionPlan
 from repro.scheduler.job import Job
-from repro.scheduler.sensitivity import BestConfig, GpuCurve, SensitivityAnalyzer
+from repro.scheduler.sensitivity import SensitivityAnalyzer
 
 
 class PlanSelector(abc.ABC):
@@ -30,6 +36,7 @@ class PlanSelector(abc.ABC):
 
     def __init__(self, analyzer: SensitivityAnalyzer):
         self.analyzer = analyzer
+        self.engine = analyzer.engine
 
     @abc.abstractmethod
     def best(self, job: Job, shape: ResourceShape) -> BestConfig | None:
@@ -85,10 +92,6 @@ class ScaledDpSelector(PlanSelector):
     keep the batch divisible).  For a 3D plan the TP/PP sizes are frozen and
     DP = gpus / (tp·pp) — the paper's description of Sia's claimed scaling.
     """
-
-    def __init__(self, analyzer: SensitivityAnalyzer):
-        super().__init__(analyzer)
-        self._curve_cache: dict[tuple, GpuCurve] = {}
 
     def _candidates(
         self, job: Job, gpus: int, min_gpus_per_node: int
@@ -147,57 +150,28 @@ class ScaledDpSelector(PlanSelector):
     def best(self, job: Job, shape: ResourceShape) -> BestConfig | None:
         if shape.gpus <= 0:
             return None
-        candidates = self._candidates(job, shape.gpus, shape.min_gpus_per_node)
-        if not candidates:
-            return None
-        perf = self.analyzer.perf_store.get(job.model)
-        node = self.analyzer.cluster_spec.node
-        batch = job.spec.global_batch
-        best: BestConfig | None = None
-        from repro.plans.memory import estimate_memory
-
-        for plan in candidates:
-            if estimate_memory(job.model, plan, batch).gpu_total > node.usable_gpu_mem:
-                continue
-            densest = max(
-                shape.min_gpus_per_node,
-                -(-shape.gpus // max(shape.num_nodes, 1)),
-            )
-            if (
-                host_mem_demand_per_node(job.model, plan, batch, densest)
-                > node.host_mem
-            ):
-                continue
-            thr = perf.throughput(plan, shape, batch)
-            if best is None or thr > best.throughput:
-                best = BestConfig(plan=plan, throughput=thr)
-        return best
+        return self.engine.best_of(
+            job.model,
+            job.spec.global_batch,
+            shape,
+            lambda: self._candidates(job, shape.gpus, shape.min_gpus_per_node),
+            key=("scaled_dp", job.spec.initial_plan),
+            check_gpu_mem=True,
+            check_host_mem=True,
+        )
 
     def curve(self, job: Job) -> GpuCurve:
-        key = (job.model.name, job.spec.global_batch, job.spec.initial_plan,
-               self.analyzer.perf_store.version)
-        if key in self._curve_cache:
-            return self._curve_cache[key]
-        limit = self.analyzer.cluster_spec.total_gpus
-        node_size = self.analyzer.cluster_spec.node.num_gpus
-        raw: list[BestConfig | None] = [None]
-        for g in range(1, limit + 1):
-            shape = ResourceShape.packed(
-                g, node_size=node_size,
-                cpus=min(g * self.analyzer.cpus_per_gpu, self.analyzer._cpu_cap(g)),
-            )
-            raw.append(self.best(job, shape))
-        curve = _build_envelope(limit, raw)
-        self._curve_cache[key] = curve
-        return curve
+        return self.engine.curve_of(
+            job.model,
+            job.spec.global_batch,
+            ("scaled_dp", job.spec.initial_plan),
+            lambda shape: self.best(job, shape),
+            cpus_per_gpu=self.analyzer.cpus_per_gpu,
+        )
 
 
 class FixedPlanSelector(PlanSelector):
     """The submitted plan only, at exactly its GPU count."""
-
-    def __init__(self, analyzer: SensitivityAnalyzer):
-        super().__init__(analyzer)
-        self._curve_cache: dict[tuple, GpuCurve] = {}
 
     def best(self, job: Job, shape: ResourceShape) -> BestConfig | None:
         plan = job.spec.initial_plan
@@ -205,43 +179,19 @@ class FixedPlanSelector(PlanSelector):
             return None
         if plan.tp > max(shape.min_gpus_per_node, 1):
             return None
-        perf = self.analyzer.perf_store.get(job.model)
-        thr = perf.throughput(plan, shape, job.spec.global_batch)
-        return BestConfig(plan=plan, throughput=thr)
+        return self.engine.best_of(
+            job.model,
+            job.spec.global_batch,
+            shape,
+            (plan,),
+            key=("fixed", plan),
+        )
 
     def curve(self, job: Job) -> GpuCurve:
-        key = (job.model.name, job.spec.global_batch, job.spec.initial_plan,
-               self.analyzer.perf_store.version)
-        if key in self._curve_cache:
-            return self._curve_cache[key]
-        limit = self.analyzer.cluster_spec.total_gpus
-        node_size = self.analyzer.cluster_spec.node.num_gpus
-        raw: list[BestConfig | None] = [None]
-        for g in range(1, limit + 1):
-            shape = ResourceShape.packed(
-                g, node_size=node_size,
-                cpus=min(g * self.analyzer.cpus_per_gpu, self.analyzer._cpu_cap(g)),
-            )
-            raw.append(self.best(job, shape))
-        curve = _build_envelope(limit, raw)
-        self._curve_cache[key] = curve
-        return curve
-
-
-def _build_envelope(limit: int, raw: list[BestConfig | None]) -> GpuCurve:
-    envelope = [0.0]
-    env_cfg: list[BestConfig | None] = [None]
-    for g in range(1, limit + 1):
-        cand = raw[g]
-        if cand is not None and cand.throughput > envelope[-1]:
-            envelope.append(cand.throughput)
-            env_cfg.append(cand)
-        else:
-            envelope.append(envelope[-1])
-            env_cfg.append(env_cfg[-1])
-    return GpuCurve(
-        max_gpus=limit,
-        raw=tuple(raw),
-        envelope=tuple(envelope),
-        envelope_config=tuple(env_cfg),
-    )
+        return self.engine.curve_of(
+            job.model,
+            job.spec.global_batch,
+            ("fixed", job.spec.initial_plan),
+            lambda shape: self.best(job, shape),
+            cpus_per_gpu=self.analyzer.cpus_per_gpu,
+        )

@@ -1,114 +1,77 @@
-"""Resource sensitivity curves (paper §5.2, Fig. 6).
+"""Resource sensitivity analysis (paper §5.2, Fig. 6) over the plan engine.
 
-A sensitivity curve gives, for each amount of one resource type (others held
-fixed), the best achievable predicted throughput over *all* feasible execution
-plans — the upper envelope of the per-plan curves.  The curves serve the
-scheduling policy twice:
+:class:`SensitivityAnalyzer` is the scheduler-facing frontend of the unified
+plan-evaluation engine (`repro.planeval`): best-plan lookups and GPU
+sensitivity curves delegate to the engine's memoized, refit-versioned
+``best``/``curve`` service, while the slope helpers and the minimum-resource
+search (Alg. 1 preamble) live here because they are policy concerns, not
+scoring concerns.
 
-* their **slopes** rank jobs by marginal benefit, steering allocation toward
-  the most sensitive jobs; and
-* they factor execution planning out of the allocation search: the policy
-  reasons over resource amounts and asks the curve for the matching best plan
-  (``GetBestPlan``).
-
-Curves depend only on (model type, batch, plan space), so they are cached
-and shared across jobs of the same model type, mirroring the paper's reuse.
+The curve/best value types (:class:`BestConfig`, :class:`GpuCurve`) and
+:func:`default_plan_space` are re-exported from `repro.planeval` for
+backward compatibility — they are defined there so the engine, the
+selectors, and the simulator can share them without import cycles.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.cluster.resources import ResourceVector
 from repro.cluster.topology import ClusterSpec
-from repro.models.catalog import is_small_model
 from repro.models.specs import ModelSpec
 from repro.perfmodel.shape import ResourceShape
-from repro.plans.enumerate import DEFAULT_SPACE, DP_FAMILY_SPACE, PlanSpace, enumerate_plans
+from repro.planeval import (
+    DEFAULT_CPUS_PER_GPU,
+    BestConfig,
+    GpuCurve,
+    PlanEvalEngine,
+    default_plan_space,
+)
+from repro.plans.enumerate import PlanSpace
 from repro.plans.memory import host_mem_demand_per_node
 from repro.plans.plan import ExecutionPlan
 from repro.scheduler.interfaces import PerfModelStore
 from repro.scheduler.job import Job
 
-#: Default CPU:GPU ratio used when building curves ("other resources fixed").
-DEFAULT_CPUS_PER_GPU = 4
+__all__ = [
+    "BestConfig",
+    "DEFAULT_CPUS_PER_GPU",
+    "GpuCurve",
+    "SensitivityAnalyzer",
+    "bootstrap_analyzer",
+    "default_plan_space",
+]
 
 
-def default_plan_space(model: ModelSpec) -> PlanSpace:
-    """The paper's trace policy: sub-1B models use the DP plan family only."""
-    return DP_FAMILY_SPACE if is_small_model(model) else DEFAULT_SPACE
+def bootstrap_analyzer(policy, ctx) -> "SensitivityAnalyzer":
+    """Lazy engine + analyzer construction shared by every policy.
 
-
-@dataclass(frozen=True)
-class BestConfig:
-    """Best predicted configuration at one resource amount."""
-
-    plan: ExecutionPlan
-    throughput: float
-
-
-@dataclass(frozen=True)
-class GpuCurve:
-    """Best-plan throughput vs. GPU count (upper envelope, Fig. 6).
-
-    ``envelope[g]`` is the best throughput achievable with *up to* ``g`` GPUs
-    — flat across GPU counts where no plan uses exactly ``g`` (the paper:
-    "the curve remains flat for invalid GPU numbers").
+    On first use, installs a :class:`PlanEvalEngine` on ``policy.engine``
+    (unless one was injected) built from the scheduling context's perf store
+    and the policy's CPU ratio, then wraps it in an analyzer.  Policies call
+    this once from their ``schedule`` bootstrap so Rubick, its variants, and
+    the baselines all share one memo space per policy instance.
     """
-
-    max_gpus: int
-    raw: tuple[BestConfig | None, ...]  # index g: best plan using exactly g GPUs
-    envelope: tuple[float, ...]  # index g: best throughput with <= g GPUs
-    envelope_config: tuple[BestConfig | None, ...]
-
-    def throughput_at(self, gpus: int) -> float:
-        gpus = max(0, min(gpus, self.max_gpus))
-        return self.envelope[gpus]
-
-    def config_at(self, gpus: int) -> BestConfig | None:
-        gpus = max(0, min(gpus, self.max_gpus))
-        return self.envelope_config[gpus]
-
-    def slope_up(self, gpus: int, delta: int = 1) -> float:
-        """Throughput gained by the next ``delta`` GPUs."""
-        return (
-            self.throughput_at(gpus + delta) - self.throughput_at(gpus)
-        ) / delta
-
-    def slope_down(self, gpus: int, delta: int = 1) -> float:
-        """Throughput lost by giving up ``delta`` GPUs."""
-        if gpus <= 0:
-            return 0.0
-        delta = min(delta, gpus)
-        return (
-            self.throughput_at(gpus) - self.throughput_at(gpus - delta)
-        ) / delta
-
-    def next_better_count(self, gpus: int) -> int | None:
-        """Smallest GPU count above ``gpus`` where the envelope rises.
-
-        Gang constraints make the envelope a step function; unit-slope
-        signals read zero inside a flat run even when a large jump lies
-        ahead (e.g. 8 -> 16 GPUs for a 3D-parallel job).
-        """
-        here = self.throughput_at(gpus)
-        for g in range(max(gpus, 0) + 1, self.max_gpus + 1):
-            if self.envelope[g] > here + 1e-12:
-                return g
-        return None
-
-    def lookahead_slope_up(self, gpus: int) -> float:
-        """Per-GPU gain to the next envelope rise (0 if the curve is done)."""
-        nxt = self.next_better_count(gpus)
-        if nxt is None:
-            return 0.0
-        return (self.throughput_at(nxt) - self.throughput_at(gpus)) / (
-            nxt - gpus
+    if policy.engine is None:
+        policy.engine = PlanEvalEngine(
+            ctx.cluster_spec,
+            perf_store=ctx.perf_store,
+            cpus_per_gpu=policy.cpus_per_gpu,
         )
+    return SensitivityAnalyzer(
+        ctx.perf_store,
+        ctx.cluster_spec,
+        cpus_per_gpu=policy.cpus_per_gpu,
+        engine=policy.engine,
+    )
 
 
 class SensitivityAnalyzer:
-    """Builds and caches sensitivity curves and best-plan lookups."""
+    """Sensitivity curves and best-plan lookups over a shared plan engine.
+
+    Construction either wraps an existing :class:`PlanEvalEngine` (so a
+    policy, its selectors, and its analyzer share one memo space) or builds
+    a private engine over ``perf_store``.
+    """
 
     def __init__(
         self,
@@ -117,21 +80,38 @@ class SensitivityAnalyzer:
         *,
         cpus_per_gpu: int = DEFAULT_CPUS_PER_GPU,
         plan_space_fn=default_plan_space,
+        engine: PlanEvalEngine | None = None,
     ):
+        if engine is not None:
+            # best_for_shape/gpu_curve score through the engine while
+            # find_min_res baselines against our store and cluster — with
+            # mismatched backings the minimum-resource search would silently
+            # compare predictions from different model generations or pack
+            # shapes for a different node size.
+            if engine.perf_store is not None and engine.perf_store is not perf_store:
+                raise ValueError(
+                    "injected engine is backed by a different PerfModelStore "
+                    "than the analyzer"
+                )
+            if engine.cluster_spec is not cluster_spec:
+                raise ValueError(
+                    "injected engine is backed by a different ClusterSpec "
+                    "than the analyzer"
+                )
         self.perf_store = perf_store
         self.cluster_spec = cluster_spec
         self.cpus_per_gpu = cpus_per_gpu
         self.plan_space_fn = plan_space_fn
-        self._best_cache: dict[tuple, BestConfig | None] = {}
-        self._curve_cache: dict[tuple, GpuCurve] = {}
-        self._store_version = perf_store.version
-
-    def _check_version(self) -> None:
-        """Drop caches when the store was refitted (online model updates)."""
-        if self.perf_store.version != self._store_version:
-            self._best_cache.clear()
-            self._curve_cache.clear()
-            self._store_version = self.perf_store.version
+        self.engine = (
+            engine
+            if engine is not None
+            else PlanEvalEngine(
+                cluster_spec,
+                perf_store=perf_store,
+                cpus_per_gpu=cpus_per_gpu,
+                plan_space_fn=plan_space_fn,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Best plan for a shape (GetBestPlan)
@@ -145,51 +125,8 @@ class SensitivityAnalyzer:
         space: PlanSpace | None = None,
     ) -> BestConfig | None:
         """Highest-predicted-throughput feasible plan for an exact shape."""
-        self._check_version()
         space = space if space is not None else self.plan_space_fn(model)
-        key = (model.name, global_batch, shape, space)
-        if key in self._best_cache:
-            return self._best_cache[key]
-        best = self._compute_best(model, global_batch, shape, space)
-        self._best_cache[key] = best
-        return best
-
-    def _compute_best(
-        self,
-        model: ModelSpec,
-        global_batch: int,
-        shape: ResourceShape,
-        space: PlanSpace,
-    ) -> BestConfig | None:
-        if shape.gpus <= 0:
-            return None
-        perf = self.perf_store.get(model)
-        node = self.cluster_spec.node
-        plans = enumerate_plans(
-            model,
-            global_batch,
-            shape.gpus,
-            min_gpus_per_node=shape.min_gpus_per_node,
-            gpu_mem_budget=node.usable_gpu_mem,
-            space=space,
-        )
-        best: BestConfig | None = None
-        for plan in plans:
-            # Host-memory capacity check: the densest node of the placement
-            # must be able to hold its share of the plan's host state.
-            densest = max(
-                shape.min_gpus_per_node,
-                -(-shape.gpus // max(shape.num_nodes, 1)),
-            )
-            if (
-                host_mem_demand_per_node(model, plan, global_batch, densest)
-                > node.host_mem
-            ):
-                continue
-            thr = perf.throughput(plan, shape, global_batch)
-            if best is None or thr > best.throughput:
-                best = BestConfig(plan=plan, throughput=thr)
-        return best
+        return self.engine.best(model, global_batch, shape, space=space)
 
     # ------------------------------------------------------------------
     # GPU sensitivity curve
@@ -203,46 +140,16 @@ class SensitivityAnalyzer:
         cpus_per_gpu: int | None = None,
         space: PlanSpace | None = None,
     ) -> GpuCurve:
-        self._check_version()
         space = space if space is not None else self.plan_space_fn(model)
         cpg = cpus_per_gpu if cpus_per_gpu is not None else self.cpus_per_gpu
-        limit = max_gpus if max_gpus is not None else self.cluster_spec.total_gpus
-        key = (model.name, global_batch, limit, cpg, space)
-        if key in self._curve_cache:
-            return self._curve_cache[key]
-        node_size = self.cluster_spec.node.num_gpus
-        raw: list[BestConfig | None] = [None]
-        for g in range(1, limit + 1):
-            shape = ResourceShape.packed(
-                g, node_size=node_size, cpus=min(g * cpg, self._cpu_cap(g))
-            )
-            raw.append(
-                self.best_for_shape(model, global_batch, shape, space=space)
-            )
-        envelope = [0.0]
-        env_cfg: list[BestConfig | None] = [None]
-        for g in range(1, limit + 1):
-            cand = raw[g]
-            if cand is not None and cand.throughput > envelope[-1]:
-                envelope.append(cand.throughput)
-                env_cfg.append(cand)
-            else:
-                envelope.append(envelope[-1])
-                env_cfg.append(env_cfg[-1])
-        curve = GpuCurve(
-            max_gpus=limit,
-            raw=tuple(raw),
-            envelope=tuple(envelope),
-            envelope_config=tuple(env_cfg),
+        return self.engine.curve(
+            model, global_batch, max_gpus=max_gpus, cpus_per_gpu=cpg,
+            space=space,
         )
-        self._curve_cache[key] = curve
-        return curve
 
     def _cpu_cap(self, gpus: int) -> int:
         """CPUs available to a job holding ``gpus`` packed GPUs."""
-        node = self.cluster_spec.node
-        nodes = -(-gpus // node.num_gpus)
-        return nodes * node.num_cpus
+        return self.engine.cpu_cap(gpus)
 
     # ------------------------------------------------------------------
     # Slopes (per job, per resource type)

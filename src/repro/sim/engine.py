@@ -29,9 +29,8 @@ from repro.errors import OutOfMemoryError, SimulationError
 from repro.oracle.profiler import build_perf_model, profiling_cost_seconds
 from repro.oracle.testbed import SyntheticTestbed
 from repro.perfmodel.shape import ResourceShape
-from repro.plans.enumerate import enumerate_plans
+from repro.planeval import PlanEvalEngine, TestbedScorer
 from repro.plans.memory import estimate_memory
-from repro.scheduler.sensitivity import default_plan_space
 from repro.scheduler.interfaces import (
     Allocation,
     PerfModelStore,
@@ -76,7 +75,15 @@ class Simulator:
         #: set, every realized-throughput observation can trigger a refit
         #: (paper §4.3 continuous model fitting).
         self.online_refitter = online_refitter
-        self._best_thr_cache: dict[tuple, float] = {}
+        #: Ground-truth plan evaluation (intrinsic-work accounting): the
+        #: same memoized engine the policies use, but scored against the
+        #: testbed instead of fitted models.  Ground truth never refits, so
+        #: its memo entries live for the whole simulation.
+        self.plan_engine = PlanEvalEngine(
+            cluster_spec,
+            scorer=TestbedScorer(self.testbed),
+            cpus_per_gpu=default_cpus_per_gpu,
+        )
 
     # ------------------------------------------------------------------
     # Setup
@@ -111,39 +118,25 @@ class Simulator:
         return count * profiling_cost_seconds()
 
     def _best_throughput(self, model, gpus: int, global_batch: int) -> float:
-        """Ground-truth best-plan throughput at a packed allocation (cached).
+        """Ground-truth best-plan throughput at a packed allocation (memoized).
 
         The duration→samples translation uses the *model's* throughput at
         the requested GPU count (paper §7.3) — i.e. the best feasible plan —
         so a job's work is intrinsic, independent of how (un)lucky its
-        randomly assigned initial plan is.
+        randomly assigned initial plan is.  The testbed-backed plan engine
+        owns enumeration, feasibility filtering, and memoization; its
+        scorer's is_feasible check covers GPU *and* host memory, so the
+        engine-level host filter is off.
         """
-        key = (model.name, gpus, global_batch)
-        cached = self._best_thr_cache.get(key)
-        if cached is not None:
-            return cached
-        node_size = self.cluster_spec.node.num_gpus
         shape = ResourceShape.packed(
-            gpus, node_size=node_size, cpus=gpus * self.default_cpus_per_gpu
-        )
-        plans = enumerate_plans(
-            model,
-            global_batch,
             gpus,
-            min_gpus_per_node=shape.min_gpus_per_node,
-            gpu_mem_budget=self.cluster_spec.node.usable_gpu_mem,
-            space=default_plan_space(model),
+            node_size=self.cluster_spec.node.num_gpus,
+            cpus=gpus * self.default_cpus_per_gpu,
         )
-        best = 0.0
-        for plan in plans:
-            if not self.testbed.is_feasible(model, plan, shape, global_batch):
-                continue
-            best = max(
-                best,
-                self.testbed.true_throughput(model, plan, shape, global_batch),
-            )
-        self._best_thr_cache[key] = best
-        return best
+        best = self.plan_engine.best(
+            model, global_batch, shape, check_host_mem=False
+        )
+        return best.throughput if best is not None else 0.0
 
     def _make_job(self, tj) -> Job:
         model = tj.model

@@ -1,0 +1,336 @@
+"""The unified plan-evaluation engine: scoring equivalence, memoization,
+hit/miss accounting, and versioned per-model invalidation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import PAPER_CLUSTER, ResourceVector
+from repro.models import GPT2, LLAMA2_7B, ROBERTA
+from repro.perfmodel import ResourceShape
+from repro.planeval import (
+    PlanEvalEngine,
+    TestbedScorer,
+    fused_throughputs,
+)
+from repro.plans import ExecutionPlan, enumerate_plans
+from repro.plans.memory import host_mem_demand_per_node
+from repro.scheduler import (
+    Job,
+    JobSpec,
+    PerfModelStore,
+    ScaledDpSelector,
+    SensitivityAnalyzer,
+    default_plan_space,
+)
+
+BATCHES = {GPT2.name: 16, ROBERTA.name: 64, LLAMA2_7B.name: 32}
+
+
+def _local_store(fitted_store, *models) -> PerfModelStore:
+    """A private store (mutable without polluting the shared fixture)."""
+    store = PerfModelStore()
+    for model in models:
+        store.add(fitted_store.get(model))
+    return store
+
+
+def _engine(fitted_store) -> PlanEvalEngine:
+    return PlanEvalEngine(
+        PAPER_CLUSTER,
+        perf_store=_local_store(fitted_store, GPT2, ROBERTA, LLAMA2_7B),
+    )
+
+
+def _job(model=GPT2, gpus=4, plan=None) -> Job:
+    plan = plan or ExecutionPlan(dp=gpus, ga_steps=max(16 // gpus, 1))
+    spec = JobSpec(
+        job_id="t", model=model, global_batch=BATCHES[model.name],
+        requested=ResourceVector(gpus, gpus * 4, 0.0),
+        initial_plan=plan, total_samples=1e5, submit_time=0.0,
+    )
+    return Job(spec=spec)
+
+
+class TestFusedScoring:
+    """The batched scorer must be bit-identical to per-plan predict calls."""
+
+    @pytest.mark.parametrize("model", [GPT2, ROBERTA, LLAMA2_7B])
+    @pytest.mark.parametrize("gpus", [1, 4, 8, 16])
+    def test_matches_unfused_predict(self, fitted_store, model, gpus):
+        perf = fitted_store.get(model)
+        batch = BATCHES[model.name]
+        shape = ResourceShape.packed(gpus, cpus=gpus * 4)
+        plans = enumerate_plans(
+            model, batch, gpus,
+            min_gpus_per_node=shape.min_gpus_per_node,
+            gpu_mem_budget=PAPER_CLUSTER.node.usable_gpu_mem,
+        )
+        assert plans, "expected candidate plans for this shape"
+        fused = fused_throughputs(perf, plans, shape, batch)
+        for plan, thr in zip(plans, fused):
+            assert thr == perf.throughput(plan, shape, batch)  # exact
+
+    def test_offload_plans_use_cpu_count(self, fitted_store):
+        perf = fitted_store.get(GPT2)
+        plan = ExecutionPlan(dp=4, zero=3, ga_steps=4)  # ZeRO-Offload
+        lean = ResourceShape.packed(4, cpus=4)
+        rich = ResourceShape.packed(4, cpus=32)
+        (thr_lean,) = fused_throughputs(perf, [plan], lean, 16)
+        (thr_rich,) = fused_throughputs(perf, [plan], rich, 16)
+        assert thr_rich > thr_lean
+        assert thr_lean == perf.throughput(plan, lean, 16)
+        assert thr_rich == perf.throughput(plan, rich, 16)
+
+
+class TestEquivalence:
+    """Engine results equal the direct enumerate-and-predict computation."""
+
+    @pytest.mark.parametrize("model", [GPT2, LLAMA2_7B])
+    @pytest.mark.parametrize("gpus", [2, 8, 12])
+    def test_best_matches_direct(self, fitted_store, model, gpus):
+        engine = _engine(fitted_store)
+        perf = fitted_store.get(model)
+        batch = BATCHES[model.name]
+        shape = ResourceShape.packed(gpus, cpus=gpus * 4)
+        space = default_plan_space(model)
+
+        node = PAPER_CLUSTER.node
+        densest = max(
+            shape.min_gpus_per_node, -(-shape.gpus // max(shape.num_nodes, 1))
+        )
+        expect_plan, expect_thr = None, 0.0
+        for plan in enumerate_plans(
+            model, batch, gpus,
+            min_gpus_per_node=shape.min_gpus_per_node,
+            gpu_mem_budget=node.usable_gpu_mem, space=space,
+        ):
+            if host_mem_demand_per_node(model, plan, batch, densest) > node.host_mem:
+                continue
+            thr = perf.throughput(plan, shape, batch)
+            if thr > expect_thr:
+                expect_plan, expect_thr = plan, thr
+
+        best = engine.best(model, batch, shape)
+        if expect_plan is None:
+            assert best is None
+        else:
+            assert best.plan == expect_plan
+            assert best.throughput == expect_thr  # exact, not approx
+
+    def test_score_all_matches_predict(self, fitted_store):
+        engine = _engine(fitted_store)
+        perf = fitted_store.get(GPT2)
+        shape = ResourceShape.packed(8, cpus=32)
+        scored = engine.score_all(GPT2, 16, shape)
+        assert scored
+        for plan, thr in scored:
+            assert thr == perf.throughput(plan, shape, 16)
+
+    def test_zero_gpus(self, fitted_store):
+        engine = _engine(fitted_store)
+        assert engine.best(GPT2, 16, ResourceShape.packed(0)) is None
+        assert engine.score_all(GPT2, 16, ResourceShape.packed(0)) == ()
+
+
+class TestStatsAccounting:
+    def test_hit_miss_eval_counters(self, fitted_store):
+        engine = _engine(fitted_store)
+        shape = ResourceShape.packed(4, cpus=16)
+        s0 = engine.stats()
+        assert (s0.hits, s0.misses, s0.evals, s0.invalidations) == (0, 0, 0, 0)
+
+        a = engine.best(GPT2, 16, shape)
+        s1 = engine.stats()
+        assert (s1.hits, s1.misses) == (0, 1)
+        assert s1.evals > 0
+
+        b = engine.best(GPT2, 16, shape)
+        s2 = engine.stats()
+        assert (s2.hits, s2.misses) == (1, 1)
+        assert s2.evals == s1.evals  # warm hit scores nothing
+        assert a is b  # same memo entry
+
+    def test_curve_counts_inner_best_lookups(self, fitted_store):
+        engine = _engine(fitted_store)
+        engine.curve(GPT2, 16, max_gpus=4)
+        misses = engine.stats().misses
+        assert misses == 1 + 4  # the curve itself + one best() per GPU count
+        engine.curve(GPT2, 16, max_gpus=4)
+        assert engine.stats().hits == 1
+
+    def test_cpu_probe_reuses_enumeration(self, fitted_store):
+        engine = _engine(fitted_store)
+        shape = ResourceShape.packed(4, cpus=16)
+        engine.best(GPT2, 16, shape)
+        enums = len(engine._enums)
+        engine.best(GPT2, 16, shape.with_cpus(17))  # CPU-slope probe
+        assert len(engine._enums) == enums  # same shape-class, no re-enum
+
+    def test_snapshot_is_immutable(self, fitted_store):
+        engine = _engine(fitted_store)
+        snap = engine.stats()
+        engine.best(GPT2, 16, ResourceShape.packed(2, cpus=8))
+        assert snap.misses == 0  # old snapshot unaffected
+        assert engine.stats().misses == 1
+
+
+class TestVersionedInvalidation:
+    def test_refit_invalidates_only_that_model(self, fitted_store):
+        store = _local_store(fitted_store, GPT2, ROBERTA)
+        engine = PlanEvalEngine(PAPER_CLUSTER, perf_store=store)
+        shape = ResourceShape.packed(4, cpus=16)
+        gpt2_a = engine.best(GPT2, 16, shape)
+        roberta_a = engine.best(ROBERTA, 64, shape)
+
+        store.add(store.get(GPT2))  # online refit of GPT-2 only
+        gpt2_b = engine.best(GPT2, 16, shape)
+        roberta_b = engine.best(ROBERTA, 64, shape)
+
+        assert gpt2_b is not gpt2_a  # recomputed under the new generation
+        assert gpt2_b.throughput == gpt2_a.throughput  # same params, same value
+        assert roberta_b is roberta_a  # untouched model stays warm
+        assert engine.stats().invalidations == 1
+
+    def test_refit_changes_results_through_the_engine(self, fitted_store):
+        store = _local_store(fitted_store, GPT2)
+        engine = PlanEvalEngine(PAPER_CLUSTER, perf_store=store)
+        shape = ResourceShape.packed(4, cpus=16)
+        before = engine.best(GPT2, 16, shape)
+
+        perf = store.get(GPT2)
+        slower = perf.with_params(
+            dataclasses.replace(perf.params, k_const=perf.params.k_const + 0.5)
+        )
+        store.add(slower)
+        after = engine.best(GPT2, 16, shape)
+        assert after.throughput < before.throughput
+
+    def test_manual_invalidate(self, fitted_store):
+        engine = _engine(fitted_store)
+        shape = ResourceShape.packed(2, cpus=8)
+        a = engine.best(GPT2, 16, shape)
+        engine.invalidate(GPT2.name)
+        b = engine.best(GPT2, 16, shape)
+        assert a is not b
+        assert engine.stats().invalidations == 1
+
+
+class TestScaledDpCurveRegression:
+    """Regression: the ScaledDpSelector's sensitivity curves must track
+    online refits.  The selector's former private ``_curve_cache`` keyed
+    entries by the store-wide version (never evicting old generations and
+    recomputing *every* job's curve when *any* model refit); routed through
+    the engine, curves are invalidated per model and reflect refitted
+    parameters immediately."""
+
+    def test_curve_refreshes_after_refit(self, fitted_store):
+        store = _local_store(fitted_store, GPT2, ROBERTA)
+        analyzer = SensitivityAnalyzer(store, PAPER_CLUSTER)
+        selector = ScaledDpSelector(analyzer)
+        job = _job(gpus=4, plan=ExecutionPlan(dp=4, ga_steps=4))
+
+        curve_a = selector.curve(job)
+        assert selector.curve(job) is curve_a  # memoized while fresh
+
+        perf = store.get(GPT2)
+        slower = perf.with_params(
+            dataclasses.replace(perf.params, k_const=perf.params.k_const + 0.5)
+        )
+        store.add(slower)
+
+        curve_b = selector.curve(job)
+        assert curve_b is not curve_a
+        # The refitted (slower) model must actually show in the curve.
+        assert max(curve_b.envelope) < max(curve_a.envelope)
+
+    def test_other_models_curves_survive_refit(self, fitted_store):
+        store = _local_store(fitted_store, GPT2, ROBERTA)
+        analyzer = SensitivityAnalyzer(store, PAPER_CLUSTER)
+        selector = ScaledDpSelector(analyzer)
+        gpt2_job = _job(gpus=4, plan=ExecutionPlan(dp=4, ga_steps=4))
+        roberta_job = _job(
+            model=ROBERTA, gpus=4, plan=ExecutionPlan(dp=4, ga_steps=4)
+        )
+        selector.curve(gpt2_job)
+        roberta_curve = selector.curve(roberta_job)
+
+        store.add(store.get(GPT2))  # refit GPT-2
+        assert selector.curve(roberta_job) is roberta_curve
+
+
+class TestEngineInjection:
+    def test_mismatched_store_rejected(self, fitted_store):
+        store_a = _local_store(fitted_store, GPT2)
+        store_b = _local_store(fitted_store, GPT2)
+        engine = PlanEvalEngine(PAPER_CLUSTER, perf_store=store_a)
+        with pytest.raises(ValueError, match="different PerfModelStore"):
+            SensitivityAnalyzer(store_b, PAPER_CLUSTER, engine=engine)
+
+    def test_mismatched_cluster_rejected(self, fitted_store, small_cluster):
+        store = _local_store(fitted_store, GPT2)
+        engine = PlanEvalEngine(PAPER_CLUSTER, perf_store=store)
+        with pytest.raises(ValueError, match="different ClusterSpec"):
+            SensitivityAnalyzer(store, small_cluster, engine=engine)
+
+    def test_selector_curves_use_analyzer_cpu_ratio(self, fitted_store):
+        # The injected engine defaults to 4 CPUs/GPU; the analyzer asks for
+        # 8 — restricted curves must follow the analyzer, not the engine.
+        store = _local_store(fitted_store, GPT2)
+        engine = PlanEvalEngine(PAPER_CLUSTER, perf_store=store)
+        analyzer = SensitivityAnalyzer(
+            store, PAPER_CLUSTER, cpus_per_gpu=8, engine=engine
+        )
+        selector = ScaledDpSelector(analyzer)
+        job = _job(gpus=4, plan=ExecutionPlan(dp=4, zero=3, ga_steps=4))
+        curve = selector.curve(job)
+        # An offload plan's throughput depends on CPUs: the curve point must
+        # equal the restricted best at the 8-CPUs/GPU packed shape.
+        shape = ResourceShape.packed(4, cpus=min(32, engine.cpu_cap(4)))
+        best = selector.best(job, shape)
+        assert best is not None
+        assert curve.raw[4].throughput == best.throughput
+
+
+class TestTestbedScorerPath:
+    """The simulator's ground-truth engine equals the direct computation."""
+
+    def test_best_matches_manual_enumeration(self, small_cluster, small_testbed):
+        engine = PlanEvalEngine(
+            small_cluster, scorer=TestbedScorer(small_testbed)
+        )
+        gpus, batch = 4, 16
+        shape = ResourceShape.packed(
+            gpus, node_size=small_cluster.node.num_gpus, cpus=gpus * 4
+        )
+        best = engine.best(GPT2, batch, shape, check_host_mem=False)
+
+        expect = 0.0
+        for plan in enumerate_plans(
+            GPT2, batch, gpus,
+            min_gpus_per_node=shape.min_gpus_per_node,
+            gpu_mem_budget=small_cluster.node.usable_gpu_mem,
+            space=default_plan_space(GPT2),
+        ):
+            if not small_testbed.is_feasible(GPT2, plan, shape, batch):
+                continue
+            expect = max(
+                expect,
+                small_testbed.true_throughput(GPT2, plan, shape, batch),
+            )
+        assert best is not None
+        assert best.throughput == expect
+
+    def test_ground_truth_never_invalidates(self, small_cluster, small_testbed):
+        engine = PlanEvalEngine(
+            small_cluster, scorer=TestbedScorer(small_testbed)
+        )
+        shape = ResourceShape.packed(
+            2, node_size=small_cluster.node.num_gpus, cpus=8
+        )
+        a = engine.best(GPT2, 16, shape, check_host_mem=False)
+        b = engine.best(GPT2, 16, shape, check_host_mem=False)
+        assert a is b
+        assert engine.stats().invalidations == 0
