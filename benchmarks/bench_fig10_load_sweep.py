@@ -3,6 +3,9 @@
 The same jobs arrive 0.5×/1×/1.5×/2× as fast; avg JCT and makespan are
 compared.  Expected shape: Rubick wins at every load, with the JCT gain
 generally increasing with load (paper: up to 3.5× JCT, 1.4× makespan).
+
+The load dimension is a first-class sweep axis (`SweepSpec.load_factors`);
+this benchmark is a 2-policy × 4-load grid on the experiments subsystem.
 """
 
 from __future__ import annotations
@@ -10,44 +13,30 @@ from __future__ import annotations
 from conftest import BENCH_SEED, run_once
 
 from repro.analysis import format_table
-from repro.cluster import PAPER_CLUSTER
-from repro.oracle import SyntheticTestbed
-from repro.scheduler import rubick
-from repro.scheduler.baselines import SynergyPolicy
-from repro.sim import Simulator, WorkloadConfig, generate_trace
+from repro.experiments import SweepSpec, run_sweep
 
 LOADS = (0.5, 0.75, 1.0, 1.5)
 NUM_JOBS = 90
 
 
 def test_fig10_load_sweep(benchmark):
-    testbed = SyntheticTestbed(PAPER_CLUSTER, seed=BENCH_SEED)
-    base = generate_trace(
-        WorkloadConfig(num_jobs=NUM_JOBS, seed=BENCH_SEED, name="load"), testbed
+    spec = SweepSpec(
+        policies=("rubick", "synergy"),
+        seeds=(BENCH_SEED,),
+        num_jobs=NUM_JOBS,
+        load_factors=LOADS,
+        trace_name="load",
     )
 
     def experiment():
-        out = []
-        for load in LOADS:
-            trace = base.scaled_load(load)
-            results = {}
-            for make in (rubick, SynergyPolicy):
-                policy = make()
-                sim = Simulator(
-                    PAPER_CLUSTER,
-                    policy,
-                    testbed=SyntheticTestbed(PAPER_CLUSTER, seed=BENCH_SEED),
-                    seed=BENCH_SEED,
-                )
-                results[policy.name] = sim.run(trace)
-            out.append((load, results))
-        return out
+        return run_sweep(spec)
 
-    out = run_once(benchmark, experiment)
+    outcome = run_once(benchmark, experiment)
     rows = []
     gains = []
-    for load, results in out:
-        ru, sy = results["rubick"], results["synergy"]
+    for load in LOADS:
+        ru = outcome.one(policy="rubick", load_factor=load)
+        sy = outcome.one(policy="synergy", load_factor=load)
         gain = sy.avg_jct() / ru.avg_jct()
         gains.append(gain)
         rows.append(

@@ -12,51 +12,31 @@ Three trace variants on the paper cluster:
 
 The trace is down-scaled (120 jobs vs the paper's 406) to keep the benchmark
 runnable in seconds; EXPERIMENTS.md records the shape comparison.
+
+All runs execute through the experiments sweep subsystem
+(`repro.experiments`): each cell is a declarative :class:`RunSpec`, the MT
+tenant setup is the runner's variant default, and the per-process trace memo
+replaces the old module-scoped trace fixture.
 """
 
 from __future__ import annotations
 
-import pytest
 from conftest import BENCH_SEED, run_once
 
 from repro.analysis import format_table
-from repro.cluster import PAPER_CLUSTER
-from repro.scheduler import JobPriority, Tenant, rubick, rubick_e, rubick_n, rubick_r
-from repro.scheduler.baselines import AntManPolicy, SiaPolicy, SynergyPolicy
-from repro.sim import (
-    Simulator,
-    WorkloadConfig,
-    generate_trace,
-    to_best_plan_trace,
-    to_multi_tenant_trace,
-)
+from repro.experiments import RunSpec, run_sweep
+from repro.scheduler import JobPriority
 
 NUM_JOBS = 160
 
 
-@pytest.fixture(scope="module")
-def traces():
-    from repro.oracle import SyntheticTestbed
-
-    testbed = SyntheticTestbed(PAPER_CLUSTER, seed=BENCH_SEED)
-    base = generate_trace(
-        WorkloadConfig(num_jobs=NUM_JOBS, seed=BENCH_SEED, name="base"), testbed
-    )
-    bp = to_best_plan_trace(base, testbed, name="bp")
-    mt = to_multi_tenant_trace(base, seed=BENCH_SEED, name="mt")
-    return {"base": base, "bp": bp, "mt": mt}
-
-
-def _run(policy, trace, tenants=None):
-    from repro.oracle import SyntheticTestbed
-
-    sim = Simulator(
-        PAPER_CLUSTER,
-        policy,
-        testbed=SyntheticTestbed(PAPER_CLUSTER, seed=BENCH_SEED),
-        seed=BENCH_SEED,
-    )
-    return sim.run(trace, tenants=tenants)
+def _runs(policy_names, variant):
+    return [
+        RunSpec(
+            policy=name, variant=variant, seed=BENCH_SEED, num_jobs=NUM_JOBS
+        )
+        for name in policy_names
+    ]
 
 
 def _print_rows(title, results):
@@ -76,12 +56,12 @@ def _print_rows(title, results):
                        rows, title=title))
 
 
-def test_table4_base_trace(benchmark, traces):
-    policies = [rubick(), SiaPolicy(), SynergyPolicy(), rubick_e(), rubick_r(),
-                rubick_n()]
+def test_table4_base_trace(benchmark):
+    policies = ["rubick", "sia", "synergy", "rubick-e", "rubick-r", "rubick-n"]
 
     def experiment():
-        return [_run(p, traces["base"]) for p in policies]
+        outcome = run_sweep(_runs(policies, "base"))
+        return [result for _, result in outcome.pairs()]
 
     results = run_once(benchmark, experiment)
     _print_rows("Table 4 (Base trace)", results)
@@ -97,13 +77,14 @@ def test_table4_base_trace(benchmark, traces):
     assert len(ref.sla_violations()) <= 0.1 * len(ref.records)
 
 
-def test_table4_best_plan_trace(benchmark, traces):
-    policies = [rubick(), SiaPolicy(), SynergyPolicy()]
-
+def test_table4_best_plan_trace(benchmark):
     def experiment():
-        bp = [_run(p, traces["bp"]) for p in policies]
-        base = [_run(p, traces["base"]) for p in (SiaPolicy(), SynergyPolicy())]
-        return bp, base
+        bp = run_sweep(_runs(["rubick", "sia", "synergy"], "bp"))
+        base = run_sweep(_runs(["sia", "synergy"], "base"))
+        return (
+            [result for _, result in bp.pairs()],
+            [result for _, result in base.pairs()],
+        )
 
     (results, base_results) = run_once(benchmark, experiment)
     _print_rows("Table 4 (BP trace — best initial plans)", results)
@@ -119,15 +100,12 @@ def test_table4_best_plan_trace(benchmark, traces):
     assert ref.avg_jct() <= synergy_bp.avg_jct() * 1.1
 
 
-def test_table4_multi_tenant_trace(benchmark, traces):
-    tenants = {
-        "tenant-a": Tenant(name="tenant-a", gpu_quota=PAPER_CLUSTER.total_gpus),
-        "tenant-b": Tenant(name="tenant-b", gpu_quota=0),
-    }
-    policies = [rubick(), AntManPolicy()]
-
+def test_table4_multi_tenant_trace(benchmark):
+    # Tenant quotas (tenant-a guaranteed at full-cluster quota, tenant-b
+    # best-effort at zero) are the runner's MT-variant default.
     def experiment():
-        return [_run(p, traces["mt"], tenants=tenants) for p in policies]
+        outcome = run_sweep(_runs(["rubick", "antman"], "mt"))
+        return [result for _, result in outcome.pairs()]
 
     results = run_once(benchmark, experiment)
     ref, antman = results

@@ -5,6 +5,13 @@ from repro.analysis.report import (
     format_table,
     normalize_to_first,
     ratio,
+    span_cell,
 )
 
-__all__ = ["format_series", "format_table", "normalize_to_first", "ratio"]
+__all__ = [
+    "format_series",
+    "format_table",
+    "normalize_to_first",
+    "ratio",
+    "span_cell",
+]

@@ -45,6 +45,18 @@ def _cell(value: object) -> str:
     return str(value)
 
 
+def span_cell(
+    mean: float, lo: float, hi: float, *, fmt: str = "{:.2f}"
+) -> str:
+    """A mean with its min–max spread, e.g. ``1.23 [1.10, 1.31]``.
+
+    Collapses to the bare mean when the spread is degenerate (single seed).
+    """
+    if fmt.format(lo) == fmt.format(hi):
+        return fmt.format(mean)
+    return f"{fmt.format(mean)} [{fmt.format(lo)}, {fmt.format(hi)}]"
+
+
 def ratio(value: float, reference: float) -> str:
     """Paper-style normalized ratio, e.g. ``(2.6x)`` (reference prints 1x)."""
     if reference <= 0:

@@ -6,7 +6,13 @@ Commands:
 * ``simulate``       — replay a trace (file or generated) under a scheduler.
 * ``compare``        — run several schedulers on the same trace, print a
                        Table-4-style comparison.
+* ``sweep``          — fan a (policy × variant × seed) grid out across
+                       worker processes with persisted, resumable results.
 * ``profile``        — fit and print a performance model for one catalog model.
+
+``simulate``, ``compare`` and ``sweep`` all execute through the experiments
+runner (`repro.experiments`), so a CLI run and a sweep worker are the same
+code path.
 """
 
 from __future__ import annotations
@@ -16,28 +22,20 @@ import sys
 
 from repro.analysis import format_table
 from repro.cluster import PAPER_CLUSTER, ClusterSpec, NodeSpec
+from repro.experiments import (
+    RunSpec,
+    SweepSpec,
+    aggregate,
+    execute_run,
+    format_sweep_table,
+    run_sweep,
+)
+from repro.experiments.spec import VARIANTS
 from repro.models import get_model
 from repro.oracle import SyntheticTestbed, build_perf_model
-from repro.scheduler import rubick, rubick_e, rubick_n, rubick_r
-from repro.scheduler.baselines import (
-    AntManPolicy,
-    SiaPolicy,
-    SimpleEqualPolicy,
-    SynergyPolicy,
-)
-from repro.sim import Simulator, WorkloadConfig, generate_trace
-from repro.sim.serialization import load_trace, save_result, save_trace
-
-POLICIES = {
-    "rubick": rubick,
-    "rubick-e": rubick_e,
-    "rubick-r": rubick_r,
-    "rubick-n": rubick_n,
-    "sia": SiaPolicy,
-    "synergy": SynergyPolicy,
-    "antman": AntManPolicy,
-    "simple": SimpleEqualPolicy,
-}
+from repro.scheduler.registry import POLICIES
+from repro.sim import WorkloadConfig, generate_trace
+from repro.sim.serialization import save_result, save_trace
 
 
 def _cluster_from_args(args) -> ClusterSpec:
@@ -82,12 +80,16 @@ def cmd_generate_trace(args) -> int:
     return 0
 
 
-def _run_one(policy_name: str, trace, cluster, seed: int):
-    policy = POLICIES[policy_name]()
-    sim = Simulator(
-        cluster, policy, testbed=SyntheticTestbed(cluster, seed=seed), seed=seed
+def _run_spec(args, policy_name: str) -> RunSpec:
+    """The RunSpec equivalent of one simulate/compare invocation."""
+    return RunSpec(
+        policy=policy_name,
+        seed=args.seed,
+        num_jobs=args.jobs,
+        nodes=args.nodes,
+        gpus_per_node=args.gpus_per_node,
+        trace_path=args.trace,
     )
-    return sim.run(trace), policy, sim
 
 
 def _print_planeval_stats(policy_name: str, policy, sim) -> None:
@@ -122,20 +124,9 @@ def _print_planeval_stats(policy_name: str, policy, sim) -> None:
     )
 
 
-def _load_or_generate(args, cluster):
-    if args.trace:
-        return load_trace(args.trace)
-    testbed = SyntheticTestbed(cluster, seed=args.seed)
-    return generate_trace(
-        WorkloadConfig(num_jobs=args.jobs, seed=args.seed, cluster=cluster),
-        testbed,
-    )
-
-
 def cmd_simulate(args) -> int:
-    cluster = _cluster_from_args(args)
-    trace = _load_or_generate(args, cluster)
-    result, policy, sim = _run_one(args.policy, trace, cluster, args.seed)
+    execution = execute_run(_run_spec(args, args.policy))
+    result, trace = execution.result, execution.trace
     summary = result.summary()
     print(
         format_table(
@@ -145,7 +136,7 @@ def cmd_simulate(args) -> int:
         )
     )
     if args.planeval_stats:
-        _print_planeval_stats(args.policy, policy, sim)
+        _print_planeval_stats(args.policy, execution.policy, execution.sim)
     if args.output:
         save_result(result, args.output)
         print(f"wrote result to {args.output}")
@@ -154,14 +145,14 @@ def cmd_simulate(args) -> int:
 
 def cmd_compare(args) -> int:
     cluster = _cluster_from_args(args)
-    trace = _load_or_generate(args, cluster)
     names = args.policies.split(",")
     unknown = [n for n in names if n not in POLICIES]
     if unknown:
         print(f"unknown policies: {unknown}; known: {sorted(POLICIES)}")
         return 2
-    runs = [_run_one(name, trace, cluster, args.seed) for name in names]
-    results = [res for res, _, _ in runs]
+    executions = [execute_run(_run_spec(args, name)) for name in names]
+    results = [e.result for e in executions]
+    trace = executions[0].trace
     ref = results[0]
     rows = [
         (
@@ -184,8 +175,73 @@ def cmd_compare(args) -> int:
         )
     )
     if args.planeval_stats:
-        for (res, policy, sim), name in zip(runs, names):
-            _print_planeval_stats(name, policy, sim)
+        for execution, name in zip(executions, names):
+            _print_planeval_stats(name, execution.policy, execution.sim)
+    return 0
+
+
+def _csv(text: str, convert=str) -> tuple:
+    return tuple(convert(part) for part in text.split(",") if part)
+
+
+def cmd_sweep(args) -> int:
+    policies = _csv(args.policies)
+    unknown = [n for n in policies if n not in POLICIES]
+    if unknown:
+        print(f"unknown policies: {unknown}; known: {sorted(POLICIES)}")
+        return 2
+    variants = _csv(args.variants)
+    bad = [v for v in variants if v not in VARIANTS]
+    if bad:
+        print(f"unknown variants: {bad}; known: {list(VARIANTS)}")
+        return 2
+    try:
+        spec = SweepSpec(
+            policies=policies,
+            seeds=_csv(args.seeds, int),
+            variants=variants,
+            num_jobs=args.jobs,
+            span=args.span_hours * 3600.0,
+            nodes=args.nodes,
+            gpus_per_node=args.gpus_per_node,
+            load_factors=_csv(args.loads, float),
+            large_model_factors=_csv(args.large_model_factors, float),
+        )
+        runs = spec.expand()
+    except ValueError as exc:
+        # Malformed numbers (--seeds a), duplicate grid entries (--seeds
+        # 0,0), or out-of-range run values (--loads 0).
+        print(f"invalid sweep grid: {exc}")
+        return 2
+    print(
+        f"sweep: {len(runs)} runs "
+        f"({len(spec.policies)} policies x {len(spec.variants)} variants x "
+        f"{len(spec.seeds)} seeds x {len(spec.load_factors)} loads x "
+        f"{len(spec.large_model_factors)} model mixes), "
+        f"workers={args.workers}, out={args.out}"
+    )
+    outcome = run_sweep(
+        spec,
+        out_dir=args.out,
+        workers=args.workers,
+        resume=args.resume,
+        log=print,
+    )
+    print()
+    print(
+        format_sweep_table(
+            aggregate(outcome.pairs()),
+            title=f"sweep on {spec.nodes * spec.gpus_per_node} GPUs "
+            f"({args.jobs} jobs/trace)",
+        )
+    )
+    executed = len(outcome.wall_seconds)
+    run_time = sum(outcome.wall_seconds.values())
+    print(
+        f"\nexecuted {executed} runs ({len(outcome.skipped)} resumed) in "
+        f"{outcome.total_wall:.1f}s wall "
+        f"({run_time:.1f}s of simulation across {outcome.workers} workers)"
+    )
     return 0
 
 
@@ -238,6 +294,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=80)
     _add_stats_arg(p)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a (policy x variant x seed) grid across worker processes",
+    )
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--gpus-per-node", type=int, default=8)
+    p.add_argument("--policies", default="rubick,sia,synergy")
+    p.add_argument("--seeds", default="0",
+                   help="comma-separated seed list (e.g. 0,1,2)")
+    p.add_argument("--variants", default="base",
+                   help=f"comma-separated subset of {','.join(VARIANTS)}")
+    p.add_argument("--loads", default="1.0",
+                   help="comma-separated arrival-rate factors (Fig. 10)")
+    p.add_argument("--large-model-factors", default="1.0",
+                   help="comma-separated large-model-mix factors (Fig. 11)")
+    p.add_argument("--jobs", type=int, default=80)
+    p.add_argument("--span-hours", type=float, default=12.0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = in-process serial)")
+    p.add_argument("--out", required=True,
+                   help="results directory (JSONL per run)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip runs whose result is already on disk")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("profile", help="fit a performance model for a model")
     _add_cluster_args(p)

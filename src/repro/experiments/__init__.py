@@ -1,0 +1,41 @@
+"""Declarative, process-parallel experiment sweeps.
+
+The substrate every multi-run study (Table 4, Fig. 10/11 and their
+descendants) runs on: frozen :class:`SweepSpec`/:class:`RunSpec` grids,
+a spawn-safe multiprocessing executor with crash-safe per-run persistence
+and resume, and seed-aggregated paper-style reporting.
+"""
+
+from repro.experiments.aggregate import (
+    CellStats,
+    SeedStats,
+    aggregate,
+    format_sweep_table,
+)
+from repro.experiments.runner import (
+    RunExecution,
+    SweepOutcome,
+    build_trace,
+    default_tenants,
+    execute_run,
+    run_sweep,
+)
+from repro.experiments.spec import VARIANTS, RunSpec, SweepSpec
+from repro.experiments.store import RunStore
+
+__all__ = [
+    "CellStats",
+    "RunExecution",
+    "RunSpec",
+    "RunStore",
+    "SeedStats",
+    "SweepOutcome",
+    "SweepSpec",
+    "VARIANTS",
+    "aggregate",
+    "build_trace",
+    "default_tenants",
+    "execute_run",
+    "format_sweep_table",
+    "run_sweep",
+]

@@ -1,0 +1,108 @@
+"""Aggregation of sweep results into paper-style cells.
+
+A *cell* is one (policy, trace) combination; its statistics are computed
+across all seeds the sweep ran.  Rendering goes through the same
+``analysis.report`` helpers as the Table-4 benchmarks, so sweep reports
+read like the paper's tables with a min–max seed spread added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table, span_cell
+from repro.experiments.spec import RunSpec
+from repro.sim.metrics import SimulationResult
+
+
+@dataclass(frozen=True)
+class SeedStats:
+    """Mean and min/max of one metric across seeds."""
+
+    mean: float
+    lo: float
+    hi: float
+
+    @staticmethod
+    def of(values: list[float]) -> "SeedStats":
+        if not values:
+            return SeedStats(0.0, 0.0, 0.0)
+        return SeedStats(
+            mean=sum(values) / len(values), lo=min(values), hi=max(values)
+        )
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Seed-aggregated metrics of one (policy, trace) cell."""
+
+    policy: str
+    trace_label: str
+    seeds: tuple[int, ...]
+    avg_jct_h: SeedStats
+    p99_jct_h: SeedStats
+    makespan_h: SeedStats
+    sla_violations: SeedStats
+    reconfig_gpu_frac: SeedStats
+
+
+def aggregate(
+    pairs: list[tuple[RunSpec, SimulationResult]]
+) -> list[CellStats]:
+    """Group (run, result) pairs into cells, first-seen order preserved."""
+    grouped: dict[tuple, list[tuple[RunSpec, SimulationResult]]] = {}
+    for run, result in pairs:
+        grouped.setdefault(run.cell_key, []).append((run, result))
+    cells = []
+    for members in grouped.values():
+        runs = [run for run, _ in members]
+        results = [result for _, result in members]
+        cells.append(
+            CellStats(
+                policy=runs[0].policy,
+                trace_label=runs[0].trace_label,
+                seeds=tuple(run.seed for run in runs),
+                avg_jct_h=SeedStats.of([r.avg_jct_hours() for r in results]),
+                p99_jct_h=SeedStats.of([r.p99_jct_hours() for r in results]),
+                makespan_h=SeedStats.of([r.makespan_hours for r in results]),
+                sla_violations=SeedStats.of(
+                    [float(len(r.sla_violations())) for r in results]
+                ),
+                reconfig_gpu_frac=SeedStats.of(
+                    [r.reconfig_gpu_hour_fraction for r in results]
+                ),
+            )
+        )
+    return cells
+
+
+def format_sweep_table(
+    cells: list[CellStats], *, title: str | None = None
+) -> str:
+    """Render cells as a Table-4-style comparison with seed spreads."""
+    rows = []
+    for cell in cells:
+        rows.append(
+            (
+                cell.trace_label,
+                cell.policy,
+                len(cell.seeds),
+                span_cell(cell.avg_jct_h.mean, cell.avg_jct_h.lo,
+                          cell.avg_jct_h.hi),
+                span_cell(cell.p99_jct_h.mean, cell.p99_jct_h.lo,
+                          cell.p99_jct_h.hi),
+                span_cell(cell.makespan_h.mean, cell.makespan_h.lo,
+                          cell.makespan_h.hi, fmt="{:.1f}"),
+                span_cell(cell.sla_violations.mean, cell.sla_violations.lo,
+                          cell.sla_violations.hi, fmt="{:.0f}"),
+                span_cell(100 * cell.reconfig_gpu_frac.mean,
+                          100 * cell.reconfig_gpu_frac.lo,
+                          100 * cell.reconfig_gpu_frac.hi),
+            )
+        )
+    return format_table(
+        ["trace", "scheduler", "seeds", "avg JCT h", "p99 JCT h",
+         "makespan h", "SLA viol", "reconfig GPU %"],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,275 @@
+"""Process-parallel sweep execution.
+
+The executor fans :class:`RunSpec` grids out across worker processes with a
+``spawn`` multiprocessing context.  Spawn-safety is by construction: only
+the frozen RunSpec crosses the process boundary — each worker rebuilds its
+own ``SyntheticTestbed``/``Simulator`` from the spec and writes its result
+straight to the :class:`RunStore`, so nothing stateful is ever pickled.
+
+Determinism: a run's result depends only on its RunSpec (trace generation,
+the testbed, and the simulator are all seeded from it), so a ``--workers N``
+sweep produces byte-identical run files to a serial one — enforced by
+``tests/test_experiments.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from collections import Counter
+from dataclasses import dataclass, field, replace
+
+from repro.experiments.spec import RunSpec, SweepSpec
+from repro.experiments.store import RunStore
+from repro.oracle.testbed import SyntheticTestbed
+from repro.scheduler.interfaces import SchedulerPolicy, Tenant
+from repro.scheduler.registry import make_policy
+from repro.sim.engine import Simulator
+from repro.sim.metrics import SimulationResult
+from repro.sim.serialization import load_trace, result_from_dict, result_to_dict
+from repro.sim.trace import Trace
+from repro.sim.workload import (
+    generate_trace,
+    to_best_plan_trace,
+    to_multi_tenant_trace,
+)
+
+#: Per-process memo of *unscaled* traces: runs differing only in policy or
+#: load factor share one (moderately expensive) trace construction; the
+#: cheap ``scaled_load`` view is applied per run.
+_TRACE_CACHE: dict[str, Trace] = {}
+
+
+def _base_run(run: RunSpec) -> RunSpec:
+    """The unscaled run whose trace this run derives from."""
+    return run if run.load_factor == 1.0 else replace(run, load_factor=1.0)
+
+
+def _trace_memo_key(run: RunSpec) -> str:
+    """Memo key of the unscaled trace a run derives from."""
+    return _base_run(run).trace_fingerprint
+
+
+def build_trace(run: RunSpec) -> Trace:
+    """Construct (or load) the trace a run replays, deterministically."""
+    base_run = _base_run(run)
+    key = base_run.trace_fingerprint
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        if base_run.trace_path is not None:
+            trace = load_trace(base_run.trace_path)
+        else:
+            testbed = SyntheticTestbed(base_run.cluster, seed=base_run.seed)
+            trace = generate_trace(base_run.workload_config(), testbed)
+        if base_run.variant == "bp":
+            testbed = SyntheticTestbed(base_run.cluster, seed=base_run.seed)
+            trace = to_best_plan_trace(trace, testbed, name="bp")
+        elif base_run.variant == "mt":
+            trace = to_multi_tenant_trace(trace, seed=base_run.seed, name="mt")
+        _TRACE_CACHE[key] = trace
+    if run.load_factor != 1.0:
+        trace = trace.scaled_load(run.load_factor)
+    return trace
+
+
+def default_tenants(run: RunSpec) -> dict[str, Tenant] | None:
+    """Tenant setup implied by the trace variant.
+
+    The MT variant reproduces the paper's two-tenant experiment: tenant-a
+    holds the whole-cluster guaranteed quota, tenant-b runs best-effort.
+    """
+    if run.variant != "mt":
+        return None
+    return {
+        "tenant-a": Tenant(name="tenant-a", gpu_quota=run.cluster.total_gpus),
+        "tenant-b": Tenant(name="tenant-b", gpu_quota=0),
+    }
+
+
+@dataclass
+class RunExecution:
+    """An in-process run with its live objects (for CLI stats printing)."""
+
+    run: RunSpec
+    result: SimulationResult
+    policy: SchedulerPolicy
+    sim: Simulator
+    trace: Trace
+    wall_seconds: float
+
+
+def execute_run(run: RunSpec) -> RunExecution:
+    """Build everything from the spec and replay the trace once."""
+    start = time.perf_counter()
+    trace = build_trace(run)
+    policy = make_policy(run.policy)
+    cluster = run.cluster
+    sim = Simulator(
+        cluster,
+        policy,
+        testbed=SyntheticTestbed(cluster, seed=run.seed),
+        seed=run.seed,
+    )
+    result = sim.run(trace, tenants=default_tenants(run))
+    return RunExecution(
+        run=run,
+        result=result,
+        policy=policy,
+        sim=sim,
+        trace=trace,
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+def _pool_run(args: tuple[RunSpec, str | None]):
+    """Top-level worker body (must be importable under spawn)."""
+    run, out_dir = args
+    execution = execute_run(run)
+    if out_dir is not None:
+        RunStore(out_dir).save(run, execution.result)
+        return run.run_key, execution.wall_seconds, None
+    return run.run_key, execution.wall_seconds, result_to_dict(execution.result)
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a sweep invocation produced (plus resumed prior results)."""
+
+    runs: tuple[RunSpec, ...]
+    results: dict[str, SimulationResult] = field(default_factory=dict)
+    #: Wall seconds per run *executed in this invocation* only.
+    wall_seconds: dict[str, float] = field(default_factory=dict)
+    #: Run keys skipped because ``--resume`` found them already on disk.
+    skipped: tuple[str, ...] = ()
+    total_wall: float = 0.0
+    workers: int = 1
+
+    def pairs(self) -> list[tuple[RunSpec, SimulationResult]]:
+        """(run, result) in grid order for every run with a result."""
+        return [
+            (run, self.results[run.run_key])
+            for run in self.runs
+            if run.run_key in self.results
+        ]
+
+    def select(self, **fields) -> list[tuple[RunSpec, SimulationResult]]:
+        """Pairs whose RunSpec matches every given field, in grid order."""
+        return [
+            (run, result)
+            for run, result in self.pairs()
+            if all(getattr(run, k) == v for k, v in fields.items())
+        ]
+
+    def one(self, **fields) -> SimulationResult:
+        """The single result matching ``fields`` (raises otherwise)."""
+        matches = self.select(**fields)
+        if len(matches) != 1:
+            raise LookupError(
+                f"expected exactly one run matching {fields}, "
+                f"found {len(matches)}"
+            )
+        return matches[0][1]
+
+
+def run_sweep(
+    spec: SweepSpec | tuple[RunSpec, ...] | list[RunSpec],
+    *,
+    out_dir: str | None = None,
+    workers: int = 1,
+    resume: bool = False,
+    log=None,
+) -> SweepOutcome:
+    """Execute a sweep grid, optionally in parallel and/or persisted.
+
+    * ``out_dir`` — when set, every run is persisted through the
+      :class:`RunStore` as it completes (crash-safe); when ``None`` the
+      sweep is in-memory only (benchmarks).
+    * ``workers`` — number of spawn-context worker processes; ``1`` runs
+      in-process (and is what ``workers > 1`` must be byte-identical to).
+    * ``resume`` — skip runs whose key already has a result on disk.
+    """
+    started = time.perf_counter()
+    if isinstance(spec, SweepSpec):
+        runs = spec.expand()
+    else:
+        runs = tuple(spec)
+    keys = [run.run_key for run in runs]
+    if len(set(keys)) != len(keys):
+        raise ValueError("sweep grid contains duplicate run keys")
+
+    store = RunStore(out_dir) if out_dir is not None else None
+    if store is not None and isinstance(spec, SweepSpec):
+        store.write_spec(spec)
+
+    already_done: set[str] = set()
+    if store is not None and resume:
+        already_done = store.completed_keys() & set(keys)
+    todo = [run for run in runs if run.run_key not in already_done]
+
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    outcome = SweepOutcome(
+        runs=runs, skipped=tuple(k for k in keys if k in already_done),
+        workers=max(workers, 1),
+    )
+    if outcome.skipped:
+        say(f"resume: {len(outcome.skipped)}/{len(runs)} runs already on disk")
+
+    if workers <= 1 or len(todo) <= 1:
+        for run in todo:
+            execution = execute_run(run)
+            if store is not None:
+                store.save(run, execution.result)
+            outcome.results[run.run_key] = execution.result
+            outcome.wall_seconds[run.run_key] = execution.wall_seconds
+            say(f"done {run.run_key} ({execution.wall_seconds:.1f}s)")
+    elif todo:
+        ctx = mp.get_context("spawn")
+        # Group same-trace runs into contiguous chunks so each worker's
+        # per-process trace memo gets hits (results are independent of
+        # execution order, so this only affects wall clock).  Chunks never
+        # exceed a fingerprint group: larger chunks would trade load
+        # balance for no extra memo hits.
+        ordered = sorted(todo, key=_trace_memo_key)
+        processes = min(workers, len(todo))
+        group = min(Counter(map(_trace_memo_key, ordered)).values())
+        chunk = max(1, min(-(-len(ordered) // processes), group))
+        jobs = [(run, out_dir) for run in ordered]
+        with ctx.Pool(processes=processes) as pool:
+            for key, wall, payload in pool.imap_unordered(
+                _pool_run, jobs, chunksize=chunk
+            ):
+                outcome.wall_seconds[key] = wall
+                if payload is not None:
+                    outcome.results[key] = result_from_dict(payload)
+                say(f"done {key} ({wall:.1f}s)")
+        if store is not None:
+            for run in todo:
+                if run.run_key not in outcome.results:
+                    outcome.results[run.run_key] = store.load_result(
+                        run.run_key
+                    )
+
+    # Resumed runs still participate in aggregation: load them back.
+    if store is not None:
+        for key in outcome.skipped:
+            outcome.results[key] = store.load_result(key)
+
+    outcome.total_wall = time.perf_counter() - started
+    if store is not None:
+        store.append_meta(
+            {
+                "workers": outcome.workers,
+                "requested_runs": len(runs),
+                "executed_runs": len(todo),
+                "skipped_runs": len(outcome.skipped),
+                "total_wall_seconds": round(outcome.total_wall, 3),
+                "run_wall_seconds": {
+                    k: round(v, 3)
+                    for k, v in sorted(outcome.wall_seconds.items())
+                },
+            }
+        )
+    return outcome

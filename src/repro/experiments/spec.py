@@ -1,0 +1,236 @@
+"""Declarative sweep grids: frozen, individually-addressable run specs.
+
+A :class:`SweepSpec` describes a grid of simulations — policies × trace
+variants × seeds × (cluster, load, model-mix) knobs — and expands into a
+deterministic tuple of :class:`RunSpec`, one per simulation.  Every RunSpec
+is a frozen, JSON-round-trippable value object with a stable ``run_key``:
+the same spec always produces the same keys, across processes and Python
+versions, so sweep results are individually addressable on disk and a
+crashed sweep can resume by key.
+
+Nothing here touches a simulator: specs are pure data.  Workers rebuild
+``Simulator``/``SyntheticTestbed`` objects from the spec (see
+``repro.experiments.runner``) — simulator state never crosses a process
+boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Any
+
+from repro.cluster.topology import ClusterSpec, NodeSpec
+from repro.scheduler.registry import POLICIES
+from repro.sim.workload import WorkloadConfig, with_large_model_share
+from repro.units import HOUR
+
+#: Trace variants of the paper's evaluation (§7.3).
+VARIANTS = ("base", "bp", "mt")
+
+SPEC_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined simulation: (policy, trace, seed, cluster).
+
+    ``large_model_factor`` and ``load_factor`` default to the neutral 1.0,
+    which means "leave the workload untouched" (applying a factor of 1.0
+    would still rename the trace and therefore re-draw its arrival stream).
+    """
+
+    policy: str
+    variant: str = "base"
+    seed: int = 0
+    num_jobs: int = 80
+    span: float = 12 * HOUR
+    nodes: int = 8
+    gpus_per_node: int = 8
+    #: Arrival-rate compression factor (Fig. 10): jobs arrive this much faster.
+    load_factor: float = 1.0
+    #: Sampling-weight factor for the large catalog models (Fig. 11).
+    large_model_factor: float = 1.0
+    plan_assignment: str = "random"
+    trace_name: str = "base"
+    #: When set, the trace is loaded from this JSON file instead of being
+    #: generated (variant/load transforms still apply on top).
+    trace_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; known: {sorted(POLICIES)}"
+            )
+        if self.variant not in VARIANTS:
+            raise ValueError(
+                f"unknown trace variant {self.variant!r}; known: {VARIANTS}"
+            )
+        if self.load_factor <= 0:
+            raise ValueError("load_factor must be positive")
+        if self.num_jobs <= 0 and self.trace_path is None:
+            raise ValueError("num_jobs must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived simulation inputs
+    # ------------------------------------------------------------------
+    @property
+    def cluster(self) -> ClusterSpec:
+        return ClusterSpec(
+            num_nodes=self.nodes, node=NodeSpec(num_gpus=self.gpus_per_node)
+        )
+
+    def workload_config(self) -> WorkloadConfig:
+        """The generator config this run's trace derives from."""
+        config = WorkloadConfig(
+            num_jobs=self.num_jobs,
+            span=self.span,
+            seed=self.seed,
+            cluster=self.cluster,
+            plan_assignment=self.plan_assignment,
+            name=self.trace_name,
+        )
+        if self.large_model_factor != 1.0:
+            config = with_large_model_share(config, self.large_model_factor)
+        return config
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "RunSpec":
+        return RunSpec(**data)
+
+    def _digest(self, *, include_policy: bool) -> str:
+        payload = self.to_dict()
+        if not include_policy:
+            payload.pop("policy")
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:8]
+
+    @property
+    def run_key(self) -> str:
+        """Stable, filesystem-safe identity of this run.
+
+        Human-readable prefix (policy, variant, seed) plus a digest over
+        *all* fields, so any knob change produces a fresh key.
+        """
+        return (
+            f"{self.policy}-{self.variant}-s{self.seed}"
+            f"-{self._digest(include_policy=True)}"
+        )
+
+    @property
+    def trace_fingerprint(self) -> str:
+        """Identity of the trace alone (everything except the policy).
+
+        Runs sharing a fingerprint replay the exact same trace; the runner
+        memoizes trace construction on it.
+        """
+        return self._digest(include_policy=False)
+
+    @property
+    def cell_key(self) -> tuple:
+        """Aggregation cell: everything except the seed."""
+        no_seed = replace(self, seed=0)
+        return (self.policy, no_seed.trace_fingerprint)
+
+    @property
+    def trace_label(self) -> str:
+        """Short human label of the trace cell (for report tables)."""
+        label = self.trace_name if self.trace_path is None else self.trace_path
+        if self.variant != "base":
+            label += f"/{self.variant}"
+        if self.load_factor != 1.0:
+            label += f"@x{self.load_factor:g}"
+        if self.large_model_factor != 1.0:
+            label += f" lm*{self.large_model_factor:g}"
+        return label
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid of runs (the unit `repro sweep` executes).
+
+    Expansion order is the documented nesting — variant, load factor,
+    large-model factor, seed, policy — and is deterministic: the same spec
+    always yields the same runs in the same order.
+    """
+
+    policies: tuple[str, ...]
+    seeds: tuple[int, ...] = (0,)
+    variants: tuple[str, ...] = ("base",)
+    num_jobs: int = 80
+    span: float = 12 * HOUR
+    nodes: int = 8
+    gpus_per_node: int = 8
+    load_factors: tuple[float, ...] = (1.0,)
+    large_model_factors: tuple[float, ...] = (1.0,)
+    plan_assignment: str = "random"
+    trace_name: str = "base"
+
+    def __post_init__(self) -> None:
+        # Accept lists for convenience; store canonical tuples.
+        for name in (
+            "policies", "seeds", "variants", "load_factors",
+            "large_model_factors",
+        ):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+        for group, values in (
+            ("policies", self.policies),
+            ("seeds", self.seeds),
+            ("variants", self.variants),
+            ("load_factors", self.load_factors),
+            ("large_model_factors", self.large_model_factors),
+        ):
+            if not values:
+                # An empty axis would silently expand to a 0-run sweep.
+                raise ValueError(f"{group} must have at least one entry")
+            if len(set(values)) != len(values):
+                raise ValueError(f"duplicate entries in {group}: {values}")
+
+    def expand(self) -> tuple[RunSpec, ...]:
+        """The full grid as individually-addressable runs."""
+        runs = []
+        for variant in self.variants:
+            for load in self.load_factors:
+                for lm_factor in self.large_model_factors:
+                    for seed in self.seeds:
+                        for policy in self.policies:
+                            runs.append(
+                                RunSpec(
+                                    policy=policy,
+                                    variant=variant,
+                                    seed=seed,
+                                    num_jobs=self.num_jobs,
+                                    span=self.span,
+                                    nodes=self.nodes,
+                                    gpus_per_node=self.gpus_per_node,
+                                    load_factor=load,
+                                    large_model_factor=lm_factor,
+                                    plan_assignment=self.plan_assignment,
+                                    trace_name=self.trace_name,
+                                )
+                            )
+        return tuple(runs)
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["format_version"] = SPEC_FORMAT_VERSION
+        return data
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "SweepSpec":
+        data = dict(data)
+        data.pop("format_version", None)
+        for name in (
+            "policies", "seeds", "variants", "load_factors",
+            "large_model_factors",
+        ):
+            if name in data:
+                data[name] = tuple(data[name])
+        return SweepSpec(**data)

@@ -1,0 +1,98 @@
+"""Crash-safe, per-run JSONL persistence for sweeps.
+
+Layout under the sweep output directory::
+
+    out/
+      sweep-spec.json     # the SweepSpec that launched the sweep (if any)
+      sweep-meta.jsonl    # one line per invocation: wall-clock accounting
+      runs/
+        <run_key>.jsonl   # one line per completed run: {run, result}
+
+Each run file is written atomically (temp file + ``os.replace``), so a
+killed sweep never leaves a half-written result and ``--resume`` can trust
+whatever is on disk.  Run files contain only deterministic simulation
+output — wall-clock timings live in ``sweep-meta.jsonl`` — so a parallel
+sweep's ``runs/`` directory is byte-identical to a serial one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.spec import RunSpec, SweepSpec
+from repro.sim.metrics import SimulationResult
+from repro.sim.serialization import result_from_dict, result_to_dict
+
+RUN_FORMAT_VERSION = 1
+
+
+class RunStore:
+    """Reads and writes one sweep output directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.runs_dir = self.root / "runs"
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Run records
+    # ------------------------------------------------------------------
+    def path_for(self, run_key: str) -> Path:
+        return self.runs_dir / f"{run_key}.jsonl"
+
+    def completed_keys(self) -> set[str]:
+        return {p.stem for p in self.runs_dir.glob("*.jsonl")}
+
+    def save(self, run: RunSpec, result: SimulationResult) -> Path:
+        record = {
+            "format_version": RUN_FORMAT_VERSION,
+            "run_key": run.run_key,
+            "run": run.to_dict(),
+            "result": result_to_dict(result),
+        }
+        path = self.path_for(run.run_key)
+        # Atomic publish: concurrent workers each write a private temp file.
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(record, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def load_record(self, run_key: str) -> dict[str, Any]:
+        line = self.path_for(run_key).read_text()
+        record = json.loads(line)
+        version = record.get("format_version")
+        if version != RUN_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported run record version {version!r} "
+                f"(expected {RUN_FORMAT_VERSION})"
+            )
+        return record
+
+    def load(self, run_key: str) -> tuple[RunSpec, SimulationResult]:
+        record = self.load_record(run_key)
+        return (
+            RunSpec.from_dict(record["run"]),
+            result_from_dict(record["result"]),
+        )
+
+    def load_result(self, run_key: str) -> SimulationResult:
+        return self.load(run_key)[1]
+
+    def load_all(self) -> list[tuple[RunSpec, SimulationResult]]:
+        return [self.load(key) for key in sorted(self.completed_keys())]
+
+    # ------------------------------------------------------------------
+    # Sweep-level metadata
+    # ------------------------------------------------------------------
+    def write_spec(self, spec: SweepSpec) -> None:
+        (self.root / "sweep-spec.json").write_text(
+            json.dumps(spec.to_dict(), sort_keys=True, indent=1)
+        )
+
+    def append_meta(self, entry: dict[str, Any]) -> None:
+        """Append one wall-clock accounting line (kept out of ``runs/``)."""
+        with (self.root / "sweep-meta.jsonl").open("a") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")

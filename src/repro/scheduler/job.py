@@ -83,6 +83,10 @@ class Job:
     #: the overhead accounting (§7.3).
     reconfig_count: int = 0
     reconfig_seconds: float = 0.0
+    #: Held GPU-seconds spent inside reconfiguration pauses (held ≠ requested
+    #: under Rubick, so overhead fractions must use this, not a product of
+    #: ``reconfig_seconds`` and the request).
+    reconfig_gpu_seconds: float = 0.0
     run_seconds: float = 0.0
     queue_seconds: float = 0.0
     last_queue_enter: float = 0.0
@@ -122,11 +126,13 @@ class Job:
         return self.finish_time - self.spec.submit_time
 
     def reconfig_gate_open(self, delta: float, threshold: float = 0.97) -> bool:
-        """The paper's reconfiguration-frequency guard.
+        """The paper's reconfiguration-frequency guard (DESIGN.md item 10).
 
-        A job may be reconfigured only if ``(T - N·δ)/T`` exceeds the
+        A job may be reconfigured only if ``(T - (N+1)·δ)/T`` exceeds the
         threshold, where ``T`` is its aggregated training time and ``N`` its
-        reconfiguration count so far.
+        reconfiguration count so far — i.e. the guard prices in the
+        *prospective* reconfiguration it is being asked to approve, so the
+        threshold still holds after the pause is paid.
         """
         total = self.run_seconds + self.reconfig_seconds
         if total <= 0.0:

@@ -1,0 +1,41 @@
+"""Named registry of every scheduling policy the toolkit ships.
+
+One table maps CLI/sweep policy names to zero-argument factories.  It lives
+here — below the CLI and the experiment runner — so that spawn-based sweep
+workers can rebuild policies from a bare name without importing ``repro.cli``
+(which would be a circular import: the CLI itself consumes the experiments
+subsystem).
+"""
+
+from __future__ import annotations
+
+from repro.scheduler.baselines import (
+    AntManPolicy,
+    SiaPolicy,
+    SimpleEqualPolicy,
+    SynergyPolicy,
+)
+from repro.scheduler.interfaces import SchedulerPolicy
+from repro.scheduler.variants import rubick, rubick_e, rubick_n, rubick_r
+
+POLICIES = {
+    "rubick": rubick,
+    "rubick-e": rubick_e,
+    "rubick-r": rubick_r,
+    "rubick-n": rubick_n,
+    "sia": SiaPolicy,
+    "synergy": SynergyPolicy,
+    "antman": AntManPolicy,
+    "simple": SimpleEqualPolicy,
+}
+
+
+def make_policy(name: str) -> SchedulerPolicy:
+    """Instantiate a fresh policy by registry name."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None
+    return factory()

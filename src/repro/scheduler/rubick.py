@@ -40,7 +40,7 @@ from repro.cluster.placement import Placement
 from repro.cluster.resources import ResourceVector
 from repro.cluster.state import Cluster
 from repro.perfmodel.shape import ResourceShape
-from repro.planeval import PlanEvalEngine
+from repro.planeval import BestConfig, PlanEvalEngine
 from repro.plans.memory import host_mem_demand_per_node
 from repro.scheduler.interfaces import (
     Allocation,
@@ -421,6 +421,8 @@ class RubickPolicy(SchedulerPolicy):
             state.rollback(mark)
             return False
         best = selector.best(job, state.shape_of(job.job_id))
+        if best is None and self.tune_resources:
+            best = self._trim_to_feasible(job, state, selector, needed_gpus)
         if best is None:
             state.rollback(mark)
             return False
@@ -431,6 +433,35 @@ class RubickPolicy(SchedulerPolicy):
             state.rollback(mark)
             return False
         return True
+
+    def _trim_to_feasible(
+        self,
+        job: Job,
+        state: _RoundState,
+        selector: PlanSelector,
+        needed_gpus: int,
+    ) -> BestConfig | None:
+        """Salvage an acquisition whose exact total has no feasible plan.
+
+        Acquisition steers by lookahead slopes toward the next envelope
+        rise, so it can run out of reclaimable resources mid-plateau at a
+        GPU count no plan uses exactly (e.g. 23 GPUs for a DP-family model,
+        whose DP degree must divide the global batch).  Without a fallback
+        the whole acquisition rolls back and the job retries — and can
+        starve for as long as the cluster stays in that state.  Instead,
+        trim down to the curve's best feasible count within what was
+        acquired and replan there.
+        """
+        total = state.totals(job.job_id).gpus
+        curve = selector.curve(job)
+        config = curve.config_at(min(total, curve.max_gpus))
+        if config is None:
+            return None
+        gpus = config.plan.num_gpus
+        if gpus < max(needed_gpus, 1) or gpus >= total:
+            return None
+        self._trim_to_plan(job.job_id, gpus, state)
+        return selector.best(job, state.shape_of(job.job_id))
 
     def _target_gpus(
         self, job: Job, selector: PlanSelector, ctx: SchedulingContext
@@ -479,7 +510,10 @@ class RubickPolicy(SchedulerPolicy):
             my_slope = selector.gpu_slope_up(job, current) / baselines[job_id]
             if not below_min and my_slope <= _EPS_SLOPE:
                 break
-            if node.free.gpus > 0 and node.free.cpus >= 1:
+            if node.free.gpus > 0 and self._ensure_companion_cpu(
+                job, node, state, by_id, baselines, selector, below_min,
+                my_slope,
+            ):
                 state.move(node, job_id, ResourceVector(gpus=1, cpus=1))
                 continue
             # No free GPU here: try to reclaim one from the least-sensitive
@@ -493,10 +527,45 @@ class RubickPolicy(SchedulerPolicy):
             if not (below_min or my_slope > victim_slope):
                 break
             self._shrink_gpu(victim_job, node, state)
-            if node.free.gpus > 0 and node.free.cpus >= 1:
+            if node.free.gpus > 0 and self._ensure_companion_cpu(
+                job, node, state, by_id, baselines, selector, below_min,
+                my_slope,
+            ):
                 state.move(node, job_id, ResourceVector(gpus=1, cpus=1))
             else:
                 break
+
+    def _ensure_companion_cpu(
+        self,
+        job: Job,
+        node: _NodeState,
+        state: _RoundState,
+        by_id: dict[str, Job],
+        baselines: dict[str, float],
+        selector: PlanSelector,
+        below_min: bool,
+        my_slope: float,
+    ) -> bool:
+        """Make sure a free GPU on this node has a companion CPU to launch.
+
+        Acquisition pairs every GPU with one CPU, so a node whose CPUs are
+        all held by over-minimum jobs can strand its free GPUs indefinitely
+        (queued jobs fail to launch round after round while the GPUs idle).
+        Apply Alg. 1's least-sensitive-victim reclaim to the CPU dimension:
+        take one CPU back from the lowest-CPU-slope over-minimum job.
+        """
+        if node.free.cpus >= 1:
+            return True
+        victim = self._lowest_cpu_slope_victim(
+            node, state, by_id, baselines, selector, exclude=job.job_id
+        )
+        if victim is None:
+            return False
+        victim_job, victim_slope = victim
+        if not (below_min or my_slope > victim_slope):
+            return False
+        state.take(node, victim_job.job_id, ResourceVector(cpus=1))
+        return node.free.cpus >= 1
 
     def _lowest_slope_victim(
         self,
@@ -531,6 +600,12 @@ class RubickPolicy(SchedulerPolicy):
 
     def _shrink_gpu(self, victim: Job, node: _NodeState, state: _RoundState) -> None:
         share = node.share_of(victim.job_id)
+        if share.gpus <= 1:
+            # Last GPU on this node leaves: release the whole share, exactly
+            # like _trim_to_plan — a 0-GPU share would strand its CPUs for
+            # the rest of the round.
+            state.take(node, victim.job_id, share)
+            return
         cpus_drop = 1 if share.cpus > share.gpus - 1 else 0
         state.take(node, victim.job_id, ResourceVector(gpus=1, cpus=cpus_drop))
 
@@ -551,10 +626,12 @@ class RubickPolicy(SchedulerPolicy):
             share = node.share_of(job_id)
             if share.gpus == 0:
                 continue
-            # Top up to the default CPU:GPU ratio from the free pool.
-            want = min(
-                share.gpus * self.cpus_per_gpu - share.cpus, node.free.cpus
-            )
+            # Top up to the default CPU:GPU ratio from the free pool.  Never
+            # strip a node below one free CPU per free GPU: acquisition pairs
+            # every GPU with a companion CPU, so a bare free GPU would be
+            # unlaunchable for every later job this round.
+            spare = node.free.cpus - node.free.gpus
+            want = min(share.gpus * self.cpus_per_gpu - share.cpus, spare)
             if want > 0:
                 state.move(node, job_id, ResourceVector(cpus=want))
         # Grow further while the CPU slope says it pays off (offload jobs).
@@ -570,7 +647,9 @@ class RubickPolicy(SchedulerPolicy):
                 (
                     n
                     for n in state.nodes
-                    if n.share_of(job_id).gpus > 0 and n.free.cpus > 0
+                    # Keep one free CPU per free GPU (see the top-up above).
+                    if n.share_of(job_id).gpus > 0
+                    and n.free.cpus > n.free.gpus
                 ),
                 None,
             )

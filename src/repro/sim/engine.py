@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import time as _time
 
+from repro.cluster.placement import Placement
 from repro.cluster.resources import ResourceVector
 from repro.cluster.state import Cluster
 from repro.cluster.topology import ClusterSpec
@@ -202,13 +203,11 @@ class Simulator:
         idle_rounds = 0
         while True:
             # --- admit arrivals at `now` -------------------------------
-            arrived = False
             while pending and pending[0].submit_time <= now + _EPS:
                 tj = pending.pop(0)
                 job = self._make_job(tj)
                 jobs[job.job_id] = job
                 gpu_seconds[job.job_id] = 0.0
-                arrived = True
 
             active = [j for j in jobs.values() if j.is_active]
 
@@ -292,11 +291,7 @@ class Simulator:
             prev_placement, prev_plan = previous[job.job_id]
             if alloc is None or alloc.placement.is_empty:
                 if job.is_running:  # preemption
-                    job.status = JobStatus.QUEUED
-                    job.placement = prev_placement.__class__.empty()
-                    job.plan = None
-                    job.throughput = 0.0
-                    job.last_queue_enter = now
+                    self._requeue(job, now)
                 continue
             try:
                 cluster.apply(job.job_id, alloc.placement)
@@ -305,10 +300,7 @@ class Simulator:
                 # failed launch and leave the job queued.
                 cluster.release(job.job_id)
                 if job.is_running:
-                    job.status = JobStatus.QUEUED
-                    job.plan = None
-                    job.throughput = 0.0
-                    job.last_queue_enter = now
+                    self._requeue(job, now)
                 continue
             shape = ResourceShape.from_placement(alloc.placement)
             try:
@@ -318,10 +310,7 @@ class Simulator:
             except OutOfMemoryError:
                 cluster.release(job.job_id)
                 if job.is_running:
-                    job.status = JobStatus.QUEUED
-                    job.plan = None
-                    job.throughput = 0.0
-                    job.last_queue_enter = now
+                    self._requeue(job, now)
                 continue
 
             if self.online_refitter is not None:
@@ -356,6 +345,19 @@ class Simulator:
                 job.pause_until = now + self.reconfig_delta
                 job.reconfig_count += 1
             # CPU/host-only changes keep the job running untouched.
+
+    @staticmethod
+    def _requeue(job: Job, now: float) -> None:
+        """Send a running job back to the queue with no residual allocation.
+
+        Used for both preemption and failed launches; the cluster side has
+        already been released, so the job must not keep a stale placement.
+        """
+        job.status = JobStatus.QUEUED
+        job.placement = Placement.empty()
+        job.plan = None
+        job.throughput = 0.0
+        job.last_queue_enter = now
 
     @staticmethod
     def _gpu_shares(placement) -> dict[int, int]:
@@ -399,6 +401,9 @@ class Simulator:
                 pause_end = min(job.pause_until, t_to)
                 paused_dt = max(pause_end - t_from, 0.0)
                 job.reconfig_seconds += paused_dt
+                # Overhead accounting is in *held* GPU-seconds: Rubick's whole
+                # point is that held != requested (§7.3).
+                job.reconfig_gpu_seconds += held_gpus * paused_dt
                 if t_to + _EPS >= job.pause_until:
                     job.status = JobStatus.RUNNING
                 active_dt = max(t_to - max(t_from, job.pause_until), 0.0)

@@ -31,6 +31,9 @@ class JobRecord:
     #: Achieved execution throughput / SLA-baseline throughput (>= 1 means
     #: the performance guarantee held; only meaningful for guaranteed jobs).
     sla_ratio: float
+    #: Held GPU-seconds spent in reconfiguration pauses (accumulated by the
+    #: simulator from the placement actually held during each pause).
+    reconfig_gpu_seconds: float = 0.0
 
     @staticmethod
     def from_job(job: Job, gpu_seconds: float) -> "JobRecord":
@@ -59,6 +62,7 @@ class JobRecord:
             gpu_seconds=gpu_seconds,
             requested_gpus=job.spec.requested.gpus,
             sla_ratio=sla,
+            reconfig_gpu_seconds=job.reconfig_gpu_seconds,
         )
 
 
@@ -130,10 +134,13 @@ class SimulationResult:
 
     @property
     def reconfig_gpu_hour_fraction(self) -> float:
-        """Fraction of GPU-hours spent in reconfiguration pauses."""
-        recon = sum(
-            r.reconfig_seconds * r.requested_gpus for r in self.records
-        ) / HOUR
+        """Fraction of GPU-hours spent in reconfiguration pauses.
+
+        Weighted by the GPUs each job actually *held* during its pauses —
+        under Rubick held ≠ requested, so weighing by the request would
+        misstate the overhead of exactly the policy being measured.
+        """
+        recon = sum(r.reconfig_gpu_seconds for r in self.records) / HOUR
         total = self.total_gpu_hours
         return recon / total if total > 0 else 0.0
 

@@ -130,6 +130,7 @@ def result_to_dict(result: SimulationResult) -> dict[str, Any]:
                 "run_seconds": r.run_seconds,
                 "reconfig_count": r.reconfig_count,
                 "reconfig_seconds": r.reconfig_seconds,
+                "reconfig_gpu_seconds": r.reconfig_gpu_seconds,
                 "gpu_seconds": r.gpu_seconds,
                 "requested_gpus": r.requested_gpus,
                 "sla_ratio": r.sla_ratio,
@@ -160,6 +161,7 @@ def result_from_dict(data: dict[str, Any]) -> SimulationResult:
             run_seconds=float(r["run_seconds"]),
             reconfig_count=int(r["reconfig_count"]),
             reconfig_seconds=float(r["reconfig_seconds"]),
+            reconfig_gpu_seconds=float(r.get("reconfig_gpu_seconds", 0.0)),
             gpu_seconds=float(r["gpu_seconds"]),
             requested_gpus=int(r["requested_gpus"]),
             sla_ratio=float(r["sla_ratio"]),

@@ -69,6 +69,39 @@ class TestSimulateAndCompare:
         assert rc == 2
 
 
+class TestSweep:
+    def test_sweep_writes_results_and_prints_table(self, tmp_path, capsys):
+        out = tmp_path / "sweep"
+        args = ["sweep", "--nodes", "2", "--gpus-per-node", "8",
+                "--policies", "rubick-n,synergy", "--seeds", "5",
+                "--jobs", "4", "--out", str(out)]
+        rc = main(args)
+        assert rc == 0
+        assert len(list((out / "runs").glob("*.jsonl"))) == 2
+        text = capsys.readouterr().out
+        assert "avg JCT h" in text and "rubick-n" in text
+        assert "executed 2 runs (0 resumed)" in text
+        # Re-running with --resume executes nothing but reprints the table.
+        rc = main(args + ["--resume"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "executed 0 runs (2 resumed)" in text
+        assert "avg JCT h" in text
+
+    def test_sweep_rejects_unknown_policy_and_variant(self, tmp_path, capsys):
+        base = ["sweep", "--jobs", "4", "--out", str(tmp_path / "x")]
+        assert main(base + ["--policies", "nope"]) == 2
+        assert main(base + ["--variants", "weird"]) == 2
+
+    def test_sweep_rejects_malformed_grids(self, tmp_path, capsys):
+        base = ["sweep", "--jobs", "4", "--out", str(tmp_path / "x")]
+        assert main(base + ["--seeds", "0,0"]) == 2
+        assert main(base + ["--seeds", "a"]) == 2
+        assert main(base + ["--loads", "fast"]) == 2
+        out = capsys.readouterr().out
+        assert "invalid sweep grid" in out
+
+
 class TestProfile:
     def test_profile_prints_parameters(self, capsys):
         rc = main(["profile", *SMALL, "--model", "roberta"])

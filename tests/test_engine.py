@@ -4,10 +4,20 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster import ClusterSpec, NodeSpec
+from repro.cluster import Cluster, ClusterSpec, NodeSpec, Placement, ResourceVector
+from repro.errors import OutOfMemoryError
+from repro.models import GPT2
 from repro.oracle import SyntheticTestbed
 from repro.plans import ExecutionPlan
-from repro.scheduler import JobPriority, rubick, rubick_n
+from repro.scheduler import (
+    Allocation,
+    JobPriority,
+    JobSpec,
+    JobStatus,
+    rubick,
+    rubick_n,
+)
+from repro.scheduler.job import Job
 from repro.scheduler.baselines import SynergyPolicy
 from repro.sim import Simulator, Trace, TraceJob, WorkloadConfig, generate_trace
 
@@ -101,6 +111,26 @@ class TestReconfigurationCosts:
         for r in res.records:
             assert r.reconfig_seconds <= r.reconfig_count * 50.0 + 1e-6
 
+    def test_reconfig_gpu_seconds_use_held_gpus(self, testbed):
+        """Pause GPU-seconds are accumulated from the held placement, so
+        they are bounded by cluster size × pause time and are positive
+        whenever a pause actually happened."""
+        trace = _tiny_trace(testbed, n=12, span=900.0)
+        sim = Simulator(
+            CLUSTER, rubick(), testbed=SyntheticTestbed(CLUSTER, seed=SEED),
+            seed=SEED, reconfig_delta=50.0,
+        )
+        res = sim.run(trace)
+        for r in res.records:
+            assert (
+                r.reconfig_gpu_seconds
+                <= CLUSTER.total_gpus * r.reconfig_seconds + 1e-6
+            )
+            if r.reconfig_seconds > 0:
+                assert r.reconfig_gpu_seconds > 0
+        if any(r.reconfig_count for r in res.records):
+            assert res.reconfig_gpu_hour_fraction > 0
+
     def test_sla_ratios_recorded(self, testbed):
         trace = _tiny_trace(testbed)
         sim = Simulator(CLUSTER, rubick(), testbed=SyntheticTestbed(CLUSTER, seed=SEED), seed=SEED)
@@ -108,3 +138,69 @@ class TestReconfigurationCosts:
         guar = res.by_priority(JobPriority.GUARANTEED)
         assert guar
         assert all(r.sla_ratio > 0 for r in guar)
+
+
+class TestRequeueStateConsistency:
+    """A re-queued job must never keep a stale, non-empty placement."""
+
+    def _running_job(self, job_id="jr") -> tuple[Job, Placement]:
+        plan = ExecutionPlan(dp=2, ga_steps=8)
+        spec = JobSpec(
+            job_id=job_id, model=GPT2, global_batch=GPT2.global_batch_size,
+            requested=ResourceVector(gpus=2, cpus=8, host_mem=0.0),
+            initial_plan=plan, total_samples=1e5, submit_time=0.0,
+        )
+        job = Job(spec=spec)
+        placement = Placement({0: ResourceVector(gpus=2, cpus=8)})
+        job.status = JobStatus.RUNNING
+        job.start_time = 0.0
+        job.placement = placement
+        job.plan = plan
+        job.throughput = 5.0
+        return job, placement
+
+    def _sim_and_cluster(self, job, placement):
+        sim = Simulator(
+            CLUSTER, rubick_n(),
+            testbed=SyntheticTestbed(CLUSTER, seed=SEED), seed=SEED,
+        )
+        cluster = Cluster(CLUSTER)
+        cluster.apply(job.job_id, placement)
+        return sim, cluster
+
+    def _assert_clean_requeue(self, job, cluster, now):
+        assert job.status == JobStatus.QUEUED
+        assert job.placement.is_empty
+        assert job.plan is None
+        assert job.throughput == 0.0
+        assert job.last_queue_enter == now
+        assert cluster.placement_of(job.job_id).is_empty
+
+    def test_failed_launch_clears_placement(self):
+        """Over-committed placement -> PlacementError -> clean requeue."""
+        job, placement = self._running_job()
+        sim, cluster = self._sim_and_cluster(job, placement)
+        too_big = Placement(
+            {0: ResourceVector(gpus=CLUSTER.node.num_gpus + 1, cpus=1)}
+        )
+        sim._apply({job.job_id: Allocation(too_big, job.plan)}, [job],
+                   cluster, now=100.0)
+        self._assert_clean_requeue(job, cluster, 100.0)
+
+    def test_oom_launch_clears_placement(self):
+        job, placement = self._running_job()
+        sim, cluster = self._sim_and_cluster(job, placement)
+
+        def boom(*args, **kwargs):
+            raise OutOfMemoryError("plan does not fit")
+
+        sim.testbed.true_throughput = boom
+        sim._apply({job.job_id: Allocation(placement, job.plan)}, [job],
+                   cluster, now=200.0)
+        self._assert_clean_requeue(job, cluster, 200.0)
+
+    def test_preemption_clears_placement(self):
+        job, placement = self._running_job()
+        sim, cluster = self._sim_and_cluster(job, placement)
+        sim._apply({}, [job], cluster, now=300.0)
+        self._assert_clean_requeue(job, cluster, 300.0)

@@ -1,0 +1,184 @@
+"""Sweep subsystem: grid determinism, persistence, resume, parallel equality."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    RunSpec,
+    RunStore,
+    SweepSpec,
+    aggregate,
+    build_trace,
+    default_tenants,
+    format_sweep_table,
+    run_sweep,
+)
+
+SMALL = dict(num_jobs=4, nodes=2, gpus_per_node=8, span=1800.0)
+SPEC = SweepSpec(policies=("rubick-n", "synergy"), seeds=(0, 1), **SMALL)
+
+
+class TestSpec:
+    def test_expand_deterministic(self):
+        first = SPEC.expand()
+        second = SweepSpec(
+            policies=("rubick-n", "synergy"), seeds=(0, 1), **SMALL
+        ).expand()
+        assert first == second
+        keys = [run.run_key for run in first]
+        assert keys == [run.run_key for run in second]
+        assert len(set(keys)) == len(keys) == 4
+
+    def test_run_key_sensitive_to_every_knob(self):
+        base = RunSpec(policy="rubick-n", **SMALL)
+        assert base.run_key == RunSpec(policy="rubick-n", **SMALL).run_key
+        for change in (
+            {"policy": "synergy"},
+            {"seed": 3},
+            {"variant": "mt"},
+            {"load_factor": 2.0},
+            {"large_model_factor": 4.0},
+        ):
+            other = RunSpec(**{**base.to_dict(), **change})
+            assert other.run_key != base.run_key, change
+
+    def test_trace_fingerprint_excludes_policy_only(self):
+        a = RunSpec(policy="rubick-n", **SMALL)
+        b = RunSpec(policy="synergy", **SMALL)
+        c = RunSpec(policy="rubick-n", seed=9, **SMALL)
+        assert a.trace_fingerprint == b.trace_fingerprint
+        assert a.trace_fingerprint != c.trace_fingerprint
+
+    def test_json_round_trip(self):
+        run = RunSpec(policy="sia", variant="mt", seed=2, load_factor=1.5)
+        again = RunSpec.from_dict(json.loads(json.dumps(run.to_dict())))
+        assert again == run
+        spec = SweepSpec(policies=("rubick", "sia"), seeds=(0, 4))
+        assert SweepSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        ) == spec
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            RunSpec(policy="nope")
+        with pytest.raises(ValueError, match="unknown trace variant"):
+            RunSpec(policy="rubick", variant="weird")
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec(policies=("rubick",), seeds=(1, 1))
+        with pytest.raises(ValueError, match="at least one"):
+            SweepSpec(policies=())
+        with pytest.raises(ValueError, match="at least one"):
+            SweepSpec(policies=("rubick",), seeds=())
+
+    def test_default_tenants_only_for_mt(self):
+        mt = default_tenants(RunSpec(policy="rubick-n", variant="mt", **SMALL))
+        assert mt is not None
+        assert mt["tenant-a"].gpu_quota == 16
+        assert mt["tenant-b"].gpu_quota == 0
+        assert default_tenants(RunSpec(policy="rubick-n", **SMALL)) is None
+
+    def test_build_trace_shared_across_policies(self):
+        a = build_trace(RunSpec(policy="rubick-n", **SMALL))
+        b = build_trace(RunSpec(policy="synergy", **SMALL))
+        assert a is b  # same fingerprint -> memoized
+        assert len(a) == SMALL["num_jobs"]
+
+
+@pytest.fixture(scope="module")
+def serial_sweep(tmp_path_factory):
+    out = tmp_path_factory.mktemp("serial")
+    outcome = run_sweep(SPEC, out_dir=str(out), workers=1)
+    return out, outcome
+
+
+class TestRunnerPersistence:
+    def test_every_run_persisted_once(self, serial_sweep):
+        out, outcome = serial_sweep
+        store = RunStore(out)
+        keys = {run.run_key for run in outcome.runs}
+        assert store.completed_keys() == keys
+        assert set(outcome.results) == keys
+        run, result = store.load(next(iter(keys)))
+        assert run.run_key in keys
+        assert len(result.records) == SMALL["num_jobs"]
+
+    def test_spec_and_meta_written(self, serial_sweep):
+        out, _ = serial_sweep
+        spec = SweepSpec.from_dict(
+            json.loads((out / "sweep-spec.json").read_text())
+        )
+        assert spec == SPEC
+        meta = [
+            json.loads(line)
+            for line in (out / "sweep-meta.jsonl").read_text().splitlines()
+        ]
+        assert meta[0]["executed_runs"] == 4
+        assert set(meta[0]["run_wall_seconds"]) == set(outcome_keys(SPEC))
+
+    def test_resume_runs_only_the_missing(self, serial_sweep):
+        out, outcome = serial_sweep
+        store = RunStore(out)
+        victim = outcome.runs[0].run_key
+        store.path_for(victim).unlink()
+        again = run_sweep(SPEC, out_dir=str(out), workers=1, resume=True)
+        assert set(again.wall_seconds) == {victim}  # only the missing ran
+        assert len(again.skipped) == 3
+        assert set(again.results) == {run.run_key for run in SPEC.expand()}
+        assert store.path_for(victim).exists()
+
+    def test_resume_with_everything_done_is_a_noop(self, serial_sweep):
+        out, _ = serial_sweep
+        again = run_sweep(SPEC, out_dir=str(out), workers=1, resume=True)
+        assert again.wall_seconds == {}
+        assert len(again.skipped) == 4
+        assert len(again.results) == 4
+
+    def test_duplicate_run_keys_rejected(self):
+        run = RunSpec(policy="rubick-n", **SMALL)
+        with pytest.raises(ValueError, match="duplicate"):
+            run_sweep([run, run])
+
+
+def outcome_keys(spec: SweepSpec) -> list[str]:
+    return [run.run_key for run in spec.expand()]
+
+
+class TestParallelEquivalence:
+    def test_workers2_byte_identical_to_serial(self, serial_sweep, tmp_path):
+        serial_out, _ = serial_sweep
+        parallel_out = tmp_path / "parallel"
+        outcome = run_sweep(SPEC, out_dir=str(parallel_out), workers=2)
+        assert set(outcome.results) == set(outcome_keys(SPEC))
+        serial_store, parallel_store = RunStore(serial_out), RunStore(parallel_out)
+        for key in outcome_keys(SPEC):
+            assert (
+                parallel_store.path_for(key).read_bytes()
+                == serial_store.path_for(key).read_bytes()
+            ), key
+
+
+class TestAggregation:
+    def test_cells_aggregate_across_seeds(self, serial_sweep):
+        _, outcome = serial_sweep
+        cells = aggregate(outcome.pairs())
+        assert [c.policy for c in cells] == ["rubick-n", "synergy"]
+        for cell in cells:
+            assert cell.seeds == (0, 1)
+            assert cell.avg_jct_h.lo <= cell.avg_jct_h.mean <= cell.avg_jct_h.hi
+
+    def test_table_renders_policies_and_spread(self, serial_sweep):
+        _, outcome = serial_sweep
+        text = format_sweep_table(aggregate(outcome.pairs()), title="T")
+        assert text.startswith("T\n")
+        assert "rubick-n" in text and "synergy" in text
+        assert "seeds" in text
+
+    def test_in_memory_sweep_no_files(self, tmp_path):
+        run = RunSpec(policy="rubick-n", seed=3, **SMALL)
+        outcome = run_sweep([run], workers=1)
+        assert list(tmp_path.iterdir()) == []
+        assert outcome.one(policy="rubick-n").records
+        assert outcome.skipped == ()

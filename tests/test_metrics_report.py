@@ -11,13 +11,15 @@ from repro.units import HOUR
 
 
 def _record(job_id="j", jct=HOUR, priority=JobPriority.GUARANTEED,
-            tenant="default", sla=1.0, model="gpt2-1.5b", reconfigs=1):
+            tenant="default", sla=1.0, model="gpt2-1.5b", reconfigs=1,
+            held_gpus=8):
     return JobRecord(
         job_id=job_id, model_name=model, priority=priority, tenant=tenant,
         submit_time=0.0, first_start=60.0, finish_time=jct, jct=jct,
         queue_seconds=60.0, run_seconds=jct - 60.0, reconfig_count=reconfigs,
         reconfig_seconds=78.0 * reconfigs, gpu_seconds=8 * jct,
         requested_gpus=8, sla_ratio=sla,
+        reconfig_gpu_seconds=held_gpus * 78.0 * reconfigs,
     )
 
 
@@ -59,6 +61,16 @@ class TestSimulationResult:
         res.records = [_record(jct=10 * HOUR, reconfigs=2)]
         frac = res.reconfig_gpu_hour_fraction
         assert 0 < frac < 0.01
+
+    def test_reconfig_overhead_uses_held_not_requested_gpus(self):
+        """Regression: a job that paused while holding 2 GPUs must be
+        weighted by those 2 — not by its 8-GPU request."""
+        res = SimulationResult(policy_name="p", trace_name="t")
+        res.records = [_record(jct=10 * HOUR, reconfigs=1, held_gpus=2)]
+        held_based = (2 * 78.0 / HOUR) / res.total_gpu_hours
+        request_based = (8 * 78.0 / HOUR) / res.total_gpu_hours
+        assert res.reconfig_gpu_hour_fraction == pytest.approx(held_based)
+        assert res.reconfig_gpu_hour_fraction != pytest.approx(request_based)
 
     def test_summary_keys(self):
         res = SimulationResult(policy_name="p", trace_name="t")

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster import Cluster, ClusterSpec, NodeSpec, ResourceVector
+from repro.cluster import (
+    Cluster,
+    ClusterSpec,
+    NodeSpec,
+    Placement,
+    ResourceVector,
+)
 from repro.models import GPT2, ROBERTA
 from repro.oracle import SyntheticTestbed, build_perf_model
 from repro.plans import ExecutionPlan, ZeroStage
@@ -164,3 +170,66 @@ class TestSiaSpecifics:
         plan = allocations[job.job_id].plan
         assert plan.tp == 1 and plan.pp == 1
         assert plan.zero == job.spec.initial_plan.zero
+
+
+class TestShrinkGpu:
+    """Reclaiming a victim's last GPU on a node must not strand its CPUs."""
+
+    def _running_victim(self, cluster, gpus, cpus, job_id="victim"):
+        victim = _queued_job(job_id, gpus=gpus)
+        victim.status = JobStatus.RUNNING
+        victim.start_time = 0.0
+        placement = Placement({0: ResourceVector(gpus=gpus, cpus=cpus)})
+        cluster.apply(job_id, placement)
+        victim.placement = placement
+        return victim
+
+    def test_last_gpu_reclaim_releases_whole_share(self):
+        from repro.scheduler.rubick import _RoundState
+
+        cluster = Cluster(SPEC)
+        victim = self._running_victim(cluster, gpus=1, cpus=4)
+        state = _RoundState(cluster, [victim])
+        rubick()._shrink_gpu(victim, state.nodes[0], state)
+        # The share is gone entirely: no 0-GPU share holding CPUs survives.
+        assert victim.job_id not in state.nodes[0].shares
+        assert state.totals(victim.job_id).is_zero
+        node = state.nodes[0]
+        assert node.free.gpus == SPEC.node.num_gpus
+        assert node.free.cpus == SPEC.node.num_cpus
+
+    def test_multi_gpu_share_shrinks_by_one(self):
+        from repro.scheduler.rubick import _RoundState
+
+        cluster = Cluster(SPEC)
+        victim = self._running_victim(cluster, gpus=2, cpus=8)
+        state = _RoundState(cluster, [victim])
+        rubick()._shrink_gpu(victim, state.nodes[0], state)
+        share = state.nodes[0].share_of(victim.job_id)
+        assert share.gpus == 1 and share.cpus == 7
+
+    def test_no_stranded_cpu_shares_after_a_contended_round(self, env):
+        """End to end: after scheduling under GPU pressure, no committed
+        placement contains a 0-GPU share that still holds CPUs."""
+        _, store = env
+        cluster = Cluster(SPEC)
+        policy = rubick()
+        ctx = _ctx(store)
+        jobs = [
+            _queued_job(f"j{i}", gpus=2, model=ROBERTA,
+                        plan=ExecutionPlan(dp=2, ga_steps=8), submit=float(i))
+            for i in range(10)
+        ]
+        for round_no in range(3):
+            ctx.now = 300.0 * round_no
+            allocations = policy.schedule(jobs, cluster, ctx)
+            for job_id, alloc in allocations.items():
+                for share in alloc.placement.shares.values():
+                    assert not (share.gpus == 0 and share.cpus > 0), job_id
+                cluster.apply(job_id, alloc.placement)
+                job = next(j for j in jobs if j.job_id == job_id)
+                job.status = JobStatus.RUNNING
+                if job.start_time is None:
+                    job.start_time = ctx.now
+                job.placement = alloc.placement
+                job.plan = alloc.plan

@@ -96,3 +96,22 @@ class TestResultRoundTrip:
         result = sim.run(trace)
         data = result_to_dict(result)
         assert "avg_jct_h" in data["summary"]
+
+    def test_reconfig_gpu_seconds_round_trip_and_legacy_default(self, trace):
+        from repro.sim.serialization import result_from_dict
+
+        sim = Simulator(
+            PAPER_CLUSTER, rubick_n(),
+            testbed=SyntheticTestbed(PAPER_CLUSTER, seed=13), seed=13,
+        )
+        result = sim.run(trace)
+        data = result_to_dict(result)
+        again = result_from_dict(data)
+        assert [r.reconfig_gpu_seconds for r in again.records] == [
+            r.reconfig_gpu_seconds for r in result.records
+        ]
+        # Results written before the field existed still load (as 0.0).
+        for r in data["records"]:
+            r.pop("reconfig_gpu_seconds")
+        legacy = result_from_dict(data)
+        assert all(r.reconfig_gpu_seconds == 0.0 for r in legacy.records)
