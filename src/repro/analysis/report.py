@@ -57,6 +57,33 @@ def span_cell(
     return f"{fmt.format(mean)} [{fmt.format(lo)}, {fmt.format(hi)}]"
 
 
+def perf_footer(perf_rows: Iterable[dict]) -> str:
+    """One-line perf summary appended under sweep tables.
+
+    ``perf_rows`` are the sweep runner's per-executed-run timing rows
+    (:func:`repro.experiments.runner.run_perf`): scheduler wall time per
+    invocation, steady-state rounds short-circuited, and simulator
+    event-loop rounds per wall second.  Resumed runs carry no timing, so the
+    footer reports over the runs this invocation actually executed.
+    """
+    rows = [r for r in perf_rows if r.get("sim_wall_seconds", 0.0) > 0.0]
+    if not rows:
+        return "perf: no runs executed in this invocation (all resumed)"
+    invocations = sum(r.get("policy_invocations", 0) for r in rows)
+    skips = sum(r.get("policy_skips", 0) for r in rows)
+    policy_wall = sum(r.get("policy_wall_seconds", 0.0) for r in rows)
+    sim_rounds = sum(r.get("sim_rounds", 0) for r in rows)
+    sim_wall = sum(r.get("sim_wall_seconds", 0.0) for r in rows)
+    per_invocation = 1000.0 * policy_wall / invocations if invocations else 0.0
+    events = sim_rounds / sim_wall if sim_wall > 0 else 0.0
+    return (
+        f"perf: scheduler {per_invocation:.2f} ms/invocation · "
+        f"{skips} steady-state rounds short-circuited · "
+        f"simulator {events:.0f} events/s "
+        f"({len(rows)} runs executed)"
+    )
+
+
 def ratio(value: float, reference: float) -> str:
     """Paper-style normalized ratio, e.g. ``(2.6x)`` (reference prints 1x)."""
     if reference <= 0:

@@ -233,6 +233,7 @@ def cmd_sweep(args) -> int:
             aggregate(outcome.pairs()),
             title=f"sweep on {spec.nodes * spec.gpus_per_node} GPUs "
             f"({args.jobs} jobs/trace)",
+            perf=list(outcome.perf.values()),
         )
     )
     executed = len(outcome.wall_seconds)

@@ -38,10 +38,21 @@ class Placement:
     # ------------------------------------------------------------------
     @property
     def total(self) -> ResourceVector:
-        total = ResourceVector.zero()
-        for share in self.shares.values():
-            total = total + share
-        return total
+        # Placements are immutable, so the fold is computed once and cached
+        # (the simulator reads `total` on every accounting step).  The cache
+        # attribute is not a dataclass field: equality and repr ignore it.
+        try:
+            return self._total_cache
+        except AttributeError:
+            gpus = cpus = 0
+            host_mem = 0.0
+            for share in self.shares.values():
+                gpus += share.gpus
+                cpus += share.cpus
+                host_mem += share.host_mem
+            total = ResourceVector(gpus, cpus, host_mem)
+            object.__setattr__(self, "_total_cache", total)
+            return total
 
     @property
     def num_nodes(self) -> int:

@@ -82,7 +82,9 @@ class ResourceVector:
     # ------------------------------------------------------------------
     @staticmethod
     def zero() -> "ResourceVector":
-        return ResourceVector(0, 0, 0.0)
+        # Immutable, so one shared instance serves every caller; zero() is
+        # on the scheduler's per-round hot path (share defaults, fold seeds).
+        return _ZERO
 
     def __repr__(self) -> str:  # compact, log-friendly
         from repro.units import fmt_bytes
@@ -90,3 +92,6 @@ class ResourceVector:
         return (
             f"Res(gpu={self.gpus}, cpu={self.cpus}, mem={fmt_bytes(self.host_mem)})"
         )
+
+
+_ZERO = ResourceVector(0, 0, 0.0)

@@ -33,10 +33,13 @@ class Node:
 
     @property
     def used(self) -> ResourceVector:
-        used = ResourceVector.zero()
+        gpus = cpus = 0
+        host_mem = 0.0
         for share in self.allocations.values():
-            used = used + share
-        return used
+            gpus += share.gpus
+            cpus += share.cpus
+            host_mem += share.host_mem
+        return ResourceVector(gpus, cpus, host_mem)
 
     @property
     def free(self) -> ResourceVector:
@@ -93,10 +96,14 @@ class Cluster:
 
     @property
     def free(self) -> ResourceVector:
-        free = ResourceVector.zero()
+        gpus = cpus = 0
+        host_mem = 0.0
         for node in self.nodes:
-            free = free + node.free
-        return free
+            node_free = node.free
+            gpus += node_free.gpus
+            cpus += node_free.cpus
+            host_mem += node_free.host_mem
+        return ResourceVector(gpus, cpus, host_mem)
 
     def node(self, node_id: int) -> Node:
         return self.nodes[node_id]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.report import format_table, span_cell
+from repro.analysis.report import format_table, perf_footer, span_cell
 from repro.experiments.spec import RunSpec
 from repro.sim.metrics import SimulationResult
 
@@ -77,9 +77,18 @@ def aggregate(
 
 
 def format_sweep_table(
-    cells: list[CellStats], *, title: str | None = None
+    cells: list[CellStats],
+    *,
+    title: str | None = None,
+    perf: list[dict] | tuple[dict, ...] | None = None,
 ) -> str:
-    """Render cells as a Table-4-style comparison with seed spreads."""
+    """Render cells as a Table-4-style comparison with seed spreads.
+
+    ``perf`` — the sweep's per-executed-run timing rows
+    (``SweepOutcome.perf.values()``); when given, a one-line footer surfaces
+    scheduler wall time per invocation and simulator events/s alongside the
+    JCT columns.
+    """
     rows = []
     for cell in cells:
         rows.append(
@@ -100,9 +109,12 @@ def format_sweep_table(
                           100 * cell.reconfig_gpu_frac.hi),
             )
         )
-    return format_table(
+    table = format_table(
         ["trace", "scheduler", "seeds", "avg JCT h", "p99 JCT h",
          "makespan h", "SLA viol", "reconfig GPU %"],
         rows,
         title=title,
     )
+    if perf is not None:
+        table = f"{table}\n{perf_footer(perf)}"
+    return table

@@ -121,14 +121,33 @@ def execute_run(run: RunSpec) -> RunExecution:
     )
 
 
+def run_perf(execution: RunExecution) -> dict[str, float]:
+    """Wall-clock/speed facts of one executed run (in-memory only).
+
+    Persisted result documents are deterministic by contract, so timing
+    travels on this side channel: the sweep runner collects one perf row per
+    run *executed in this invocation* (resumed runs have none) and the
+    report layer renders them as the sweep-table footer.
+    """
+    result = execution.result
+    return {
+        "wall_seconds": execution.wall_seconds,
+        "policy_wall_seconds": result.policy_wall_seconds,
+        "policy_invocations": result.policy_invocations,
+        "policy_skips": result.policy_skips,
+        "sim_rounds": result.sim_rounds,
+        "sim_wall_seconds": result.sim_wall_seconds,
+    }
+
+
 def _pool_run(args: tuple[RunSpec, str | None]):
     """Top-level worker body (must be importable under spawn)."""
     run, out_dir = args
     execution = execute_run(run)
     if out_dir is not None:
         RunStore(out_dir).save(run, execution.result)
-        return run.run_key, execution.wall_seconds, None
-    return run.run_key, execution.wall_seconds, result_to_dict(execution.result)
+        return run.run_key, run_perf(execution), None
+    return run.run_key, run_perf(execution), result_to_dict(execution.result)
 
 
 @dataclass
@@ -139,6 +158,8 @@ class SweepOutcome:
     results: dict[str, SimulationResult] = field(default_factory=dict)
     #: Wall seconds per run *executed in this invocation* only.
     wall_seconds: dict[str, float] = field(default_factory=dict)
+    #: Per-run perf rows (see :func:`run_perf`), executed runs only.
+    perf: dict[str, dict[str, float]] = field(default_factory=dict)
     #: Run keys skipped because ``--resume`` found them already on disk.
     skipped: tuple[str, ...] = ()
     total_wall: float = 0.0
@@ -224,6 +245,7 @@ def run_sweep(
                 store.save(run, execution.result)
             outcome.results[run.run_key] = execution.result
             outcome.wall_seconds[run.run_key] = execution.wall_seconds
+            outcome.perf[run.run_key] = run_perf(execution)
             say(f"done {run.run_key} ({execution.wall_seconds:.1f}s)")
     elif todo:
         ctx = mp.get_context("spawn")
@@ -238,13 +260,14 @@ def run_sweep(
         chunk = max(1, min(-(-len(ordered) // processes), group))
         jobs = [(run, out_dir) for run in ordered]
         with ctx.Pool(processes=processes) as pool:
-            for key, wall, payload in pool.imap_unordered(
+            for key, perf, payload in pool.imap_unordered(
                 _pool_run, jobs, chunksize=chunk
             ):
-                outcome.wall_seconds[key] = wall
+                outcome.wall_seconds[key] = perf["wall_seconds"]
+                outcome.perf[key] = perf
                 if payload is not None:
                     outcome.results[key] = result_from_dict(payload)
-                say(f"done {key} ({wall:.1f}s)")
+                say(f"done {key} ({perf['wall_seconds']:.1f}s)")
         if store is not None:
             for run in todo:
                 if run.run_key not in outcome.results:
@@ -269,6 +292,10 @@ def run_sweep(
                 "run_wall_seconds": {
                     k: round(v, 3)
                     for k, v in sorted(outcome.wall_seconds.items())
+                },
+                "run_perf": {
+                    k: {m: round(v, 4) for m, v in row.items()}
+                    for k, row in sorted(outcome.perf.items())
                 },
             }
         )

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.errors import OutOfMemoryError
 from repro.models.specs import ModelSpec
 from repro.perfmodel.components import (
     comm_volume_dp,
@@ -39,6 +40,9 @@ from repro.perfmodel.overlap import overlap
 from repro.perfmodel.shape import ResourceShape
 from repro.plans.plan import ExecutionPlan, ZeroStage
 from repro.units import BYTES_FP16
+
+#: Distinct-from-None miss marker (None itself memoizes "infeasible").
+_UNCACHED = object()
 
 
 def fused_throughputs(
@@ -162,15 +166,54 @@ class TestbedScorer:
     total samples derive from the *best feasible* plan at its requested GPU
     count).  Ground truth never changes, so ``version`` is constant and the
     engine's memoized results live for the whole simulation.
+
+    On top of the engine-level memoization this scorer keeps its own
+    ``true_throughput`` memo keyed on ``(model, plan, shape, global_batch)``:
+    the simulator re-scores every job's *current* configuration on each
+    scheduling round (ragged placements the engine's packed-shape memo never
+    sees), and in steady state those queries repeat verbatim.  The memo is
+    sound because :meth:`SyntheticTestbed.true_throughput` is a pure,
+    noise-free function of its key — measurement noise exists only on the
+    separate ``measure()`` path, which is never cached here.  Infeasible
+    configurations are memoized too (as ``None``) so repeated OOM probes cost
+    one dict lookup.
     """
 
     __test__ = False  # "Test..." name; keep pytest collection away
 
     def __init__(self, testbed) -> None:
         self.testbed = testbed
+        self._thr_memo: dict[tuple, float | None] = {}
 
     def version(self, model: ModelSpec) -> int:
         return 0
+
+    def true_throughput(
+        self,
+        model: ModelSpec,
+        plan: ExecutionPlan,
+        shape: ResourceShape,
+        global_batch: int,
+    ) -> float:
+        """Memoized ground-truth samples/s; raises OOM when infeasible."""
+        key = (model.name, plan, shape, global_batch)
+        thr = self._thr_memo.get(key, _UNCACHED)
+        if thr is _UNCACHED:
+            try:
+                thr = self.testbed.true_throughput(
+                    model, plan, shape, global_batch
+                )
+            except OutOfMemoryError:
+                self._thr_memo[key] = None
+                raise
+            self._thr_memo[key] = thr
+            return thr
+        if thr is None:
+            raise OutOfMemoryError(
+                f"{model.name} {plan.describe()}: infeasible at {shape} "
+                f"(memoized)"
+            )
+        return thr
 
     def score(
         self,
@@ -181,10 +224,10 @@ class TestbedScorer:
     ) -> list[float | None]:
         out: list[float | None] = []
         for plan in plans:
-            if not self.testbed.is_feasible(model, plan, shape, global_batch):
+            try:
+                out.append(
+                    self.true_throughput(model, plan, shape, global_batch)
+                )
+            except OutOfMemoryError:
                 out.append(None)
-                continue
-            out.append(
-                self.testbed.true_throughput(model, plan, shape, global_batch)
-            )
         return out

@@ -170,6 +170,7 @@ def fits_gpu(
     return estimate_memory(model, plan, global_batch).gpu_total <= gpu_mem_budget
 
 
+@lru_cache(maxsize=200_000)
 def host_mem_demand_per_node(
     model: ModelSpec,
     plan: ExecutionPlan,

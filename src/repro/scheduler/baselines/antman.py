@@ -27,6 +27,9 @@ from repro.scheduler.job import Job, JobStatus
 
 class AntManPolicy(SchedulerPolicy):
     name = "antman"
+    # Pure function of job/cluster state (FIFO within quota, fixed plans);
+    # never reads the clock, so steady-state rounds can skip it.
+    reactive = True
 
     def __init__(
         self, *, cpus_per_gpu: int = 4, engine: PlanEvalEngine | None = None

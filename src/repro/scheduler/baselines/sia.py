@@ -34,6 +34,18 @@ from repro.scheduler.sensitivity import bootstrap_analyzer
 
 class SiaPolicy(SchedulerPolicy):
     name = "sia"
+    reactive = True
+
+    def steady_state(self, jobs, ctx) -> bool:
+        # Sia's only clock-driven input is the reconfiguration gate, which
+        # can only open over time (same argument as RubickPolicy): keep
+        # invoking the policy while any running job's gate is still closed.
+        # Queued jobs don't block: the greedy ascent is pure state.
+        return all(
+            job.reconfig_gate_open(ctx.reconfig_delta)
+            for job in jobs
+            if job.is_running
+        )
 
     def __init__(
         self, *, cpus_per_gpu: int = 4, engine: PlanEvalEngine | None = None

@@ -26,6 +26,9 @@ from repro.scheduler.sensitivity import bootstrap_analyzer
 
 class SimpleEqualPolicy(SchedulerPolicy):
     name = "simple"
+    # Pure function of the active-job set (equal shares by arrival order);
+    # never reads the clock, so steady-state rounds can skip it.
+    reactive = True
 
     def __init__(
         self, *, cpus_per_gpu: int = 4, engine: PlanEvalEngine | None = None

@@ -29,6 +29,9 @@ from repro.scheduler.sensitivity import bootstrap_analyzer
 
 class SynergyPolicy(SchedulerPolicy):
     name = "synergy"
+    # Pure function of job/cluster state (FIFO by submit time + CPU slopes);
+    # never reads the clock, so steady-state rounds can skip it.
+    reactive = True
 
     def __init__(
         self, *, cpus_per_gpu: int = 4, engine: PlanEvalEngine | None = None

@@ -96,6 +96,11 @@ class Job:
     #: Minimum resource demand found by the scheduler (Alg. 1); cached here.
     min_res: ResourceVector | None = None
     min_res_plan: ExecutionPlan | None = None
+    #: ``(model_version, value)`` memo of the scheduler's baseline
+    #: throughput prediction (requested resources + initial plan).  The
+    #: prediction is a pure function of the immutable spec and the fitted
+    #: model, so it is recomputed only when the model refits.
+    baseline_pred_cache: tuple[int, float] | None = None
 
     # ------------------------------------------------------------------
     @property

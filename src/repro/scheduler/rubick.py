@@ -59,6 +59,9 @@ from repro.scheduler.sensitivity import SensitivityAnalyzer, bootstrap_analyzer
 #: Slope below which an extra GPU is considered useless to a job.
 _EPS_SLOPE = 1e-9
 
+#: Shared zero vector: `share_of` misses are on the acquisition hot path.
+_ZERO_SHARE = ResourceVector.zero()
+
 
 @dataclass
 class _NodeState:
@@ -70,31 +73,49 @@ class _NodeState:
     shares: dict[str, ResourceVector] = field(default_factory=dict)
 
     def share_of(self, job_id: str) -> ResourceVector:
-        return self.shares.get(job_id, ResourceVector.zero())
+        share = self.shares.get(job_id)
+        return share if share is not None else _ZERO_SHARE
 
 
 class _RoundState:
-    """All speculative allocations of one scheduling round, with undo."""
+    """All speculative allocations of one scheduling round, with undo.
+
+    Per-job GPU/CPU totals are carried incrementally across the journal —
+    every ``move``/``take``/``rollback`` adjusts integer counters — so the
+    O(jobs × nodes) re-aggregation the acquisition loop used to pay on every
+    slope probe is now a dict lookup.  Host memory is deliberately *not*
+    totalled: no Alg.-1 decision reads it (it is reserved per node at commit
+    time), and float counters would drift under undo where integers cannot.
+    """
 
     def __init__(self, cluster: Cluster, jobs: list[Job]):
         running_ids = {j.job_id for j in jobs if j.is_running}
         self.nodes: list[_NodeState] = []
+        self._totals: dict[str, list[int]] = {}  # job_id -> [gpus, cpus]
         for node in cluster.nodes:
             # Carry over GPU/CPU shares of running jobs; host memory is
             # re-reserved from scratch at commit time (AllocMem), so it is
             # stripped here to avoid double counting.
-            shares = {
-                job_id: ResourceVector(share.gpus, share.cpus, 0.0)
-                for job_id, share in node.allocations.items()
-                if job_id in running_ids
-            }
-            used = ResourceVector.zero()
-            for share in shares.values():
-                used = used + share
+            shares = {}
+            used_gpus = used_cpus = 0
+            for job_id, share in node.allocations.items():
+                if job_id not in running_ids:
+                    continue
+                shares[job_id] = ResourceVector(share.gpus, share.cpus, 0.0)
+                used_gpus += share.gpus
+                used_cpus += share.cpus
+                total = self._totals.get(job_id)
+                if total is None:
+                    self._totals[job_id] = [share.gpus, share.cpus]
+                else:
+                    total[0] += share.gpus
+                    total[1] += share.cpus
             self.nodes.append(
                 _NodeState(
                     node_id=node.node_id,
-                    free=(node.capacity - used).clamp_floor(),
+                    free=(node.capacity - ResourceVector(
+                        used_gpus, used_cpus, 0.0
+                    )).clamp_floor(),
                     host_free=node.capacity.host_mem,
                     shares=shares,
                 )
@@ -102,24 +123,40 @@ class _RoundState:
         self._undo: list[tuple] = []
 
     # ------------------------------------------------------------------
+    def gpus_of(self, job_id: str) -> int:
+        total = self._totals.get(job_id)
+        return total[0] if total is not None else 0
+
+    def cpus_of(self, job_id: str) -> int:
+        total = self._totals.get(job_id)
+        return total[1] if total is not None else 0
+
     def totals(self, job_id: str) -> ResourceVector:
-        total = ResourceVector.zero()
-        for node in self.nodes:
-            total = total + node.share_of(job_id)
-        return total
+        """GPU/CPU totals as a vector (host memory is not tracked, see above)."""
+        total = self._totals.get(job_id)
+        if total is None:
+            return ResourceVector.zero()
+        return ResourceVector(total[0], total[1], 0.0)
+
+    def _adjust_total(self, job_id: str, dgpus: int, dcpus: int) -> None:
+        total = self._totals.get(job_id)
+        if total is None:
+            self._totals[job_id] = [dgpus, dcpus]
+        else:
+            total[0] += dgpus
+            total[1] += dcpus
 
     def shape_of(self, job_id: str, cpus_override: int | None = None) -> ResourceShape:
         gpu_shares = [
-            node.share_of(job_id).gpus
+            gpus
             for node in self.nodes
-            if node.share_of(job_id).gpus > 0
+            if (gpus := node.share_of(job_id).gpus) > 0
         ]
-        total = self.totals(job_id)
         return ResourceShape(
-            gpus=total.gpus,
+            gpus=self.gpus_of(job_id),
             num_nodes=len(gpu_shares),
             min_gpus_per_node=min(gpu_shares) if gpu_shares else 0,
-            cpus=cpus_override if cpus_override is not None else total.cpus,
+            cpus=cpus_override if cpus_override is not None else self.cpus_of(job_id),
         )
 
     def placement_of(self, job_id: str) -> Placement:
@@ -140,6 +177,12 @@ class _RoundState:
     def rollback(self, mark: int) -> None:
         while len(self._undo) > mark:
             node, job_id, prev_share, prev_free, prev_host = self._undo.pop()
+            current = node.share_of(job_id)
+            self._adjust_total(
+                job_id,
+                prev_share.gpus - current.gpus,
+                prev_share.cpus - current.cpus,
+            )
             if prev_share.is_zero:
                 node.shares.pop(job_id, None)
             else:
@@ -157,16 +200,23 @@ class _RoundState:
         self._journal(node, job_id)
         node.shares[job_id] = node.share_of(job_id) + delta
         node.free = (node.free - delta).clamp_floor()
+        self._adjust_total(job_id, delta.gpus, delta.cpus)
 
     def take(self, node: _NodeState, job_id: str, delta: ResourceVector) -> None:
         """Return ``delta`` from ``job_id`` to the node's free pool (journaled)."""
         self._journal(node, job_id)
-        new_share = (node.share_of(job_id) - delta).clamp_floor()
+        share = node.share_of(job_id)
+        new_share = (share - delta).clamp_floor()
         if new_share.is_zero:
             node.shares.pop(job_id, None)
         else:
             node.shares[job_id] = new_share
         node.free = node.free + delta
+        # The clamp may remove less than ``delta``; totals track what the
+        # share actually lost.
+        self._adjust_total(
+            job_id, new_share.gpus - share.gpus, new_share.cpus - share.cpus
+        )
 
     def reserve_host(self, node: _NodeState, job_id: str, amount: float) -> bool:
         if amount > node.host_free + 1e-6:
@@ -184,6 +234,30 @@ class RubickPolicy(SchedulerPolicy):
     """Rubick and its ablation variants (see module docstring)."""
 
     name = "rubick"
+    reactive = True
+
+    def steady_state(self, jobs: list[Job], ctx: SchedulingContext) -> bool:
+        """Tick-only rounds may be skipped once no clock trigger is pending.
+
+        Rubick reads the clock in exactly two places.  The best-effort
+        starvation guard: a *queued best-effort* job crossing
+        ``ctx.starvation_threshold`` jumps the slope ranking, so while one
+        is waiting the policy must keep running (queued *guaranteed* jobs
+        are FIFO by submit time — pure state — and block nothing).  And
+        :meth:`Job.reconfig_gate_open`, whose ratio only *grows* while a job
+        trains without reconfiguring: a gate that is open at decision time
+        stays open until the next allocation change — which ends the steady
+        state anyway — whereas a closed gate may open later and unlock
+        growth the last decision rejected, so the policy must keep being
+        invoked until every gate is open.
+        """
+        for job in jobs:
+            if job.status == JobStatus.QUEUED:
+                if not job.spec.is_guaranteed:
+                    return False  # the starvation guard is clock-driven
+            elif not job.reconfig_gate_open(ctx.reconfig_delta):
+                return False
+        return True
 
     def __init__(
         self,
@@ -229,7 +303,17 @@ class RubickPolicy(SchedulerPolicy):
     # Per-job derived quantities
     # ------------------------------------------------------------------
     def _baseline_pred(self, job: Job, ctx: SchedulingContext) -> float:
-        """Predicted throughput of (requested resources, initial plan)."""
+        """Predicted throughput of (requested resources, initial plan).
+
+        Memoized on the job against the model's refit generation — the
+        inputs are the immutable spec and the fitted model, so the per-round
+        rebuild of the baseline table costs one dict lookup per job until a
+        refit lands.
+        """
+        version = ctx.perf_store.model_version(job.model.name)
+        cached = job.baseline_pred_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
         perf = ctx.perf_store.get(job.model)
         shape = ResourceShape.packed(
             job.spec.requested.gpus,
@@ -237,11 +321,13 @@ class RubickPolicy(SchedulerPolicy):
             cpus=job.spec.requested.cpus,
         )
         try:
-            return perf.throughput(
+            value = perf.throughput(
                 job.spec.initial_plan, shape, job.spec.global_batch
             )
         except Exception:
-            return 1.0
+            value = 1.0
+        job.baseline_pred_cache = (version, value)
+        return value
 
     def _ensure_min_res(self, job: Job, ctx: SchedulingContext) -> None:
         """Compute and cache the job's minimum resource demand (Alg. 1 text).
@@ -356,7 +442,7 @@ class RubickPolicy(SchedulerPolicy):
             )
 
         def sort_key(j: Job) -> tuple:
-            gpus = state.totals(j.job_id).gpus
+            gpus = state.gpus_of(j.job_id)
             slope = selector.gpu_slope_up(j, gpus) / baselines[j.job_id]
             cpu_slope = 0.0
             return (starving(j), slope, cpu_slope, -j.spec.submit_time)
@@ -408,16 +494,16 @@ class RubickPolicy(SchedulerPolicy):
 
         node_order = self._node_order(job, state)
         for node in node_order:
-            if state.totals(job.job_id).gpus >= target_gpus:
+            if state.gpus_of(job.job_id) >= target_gpus:
                 break
             self._acquire_gpus_on_node(
                 job, node, state, by_id, baselines, selector, target_gpus, min_res
             )
         self._tune_cpus(job, state, by_id, baselines, selector, min_res)
 
-        total = state.totals(job.job_id)
+        total_gpus = state.gpus_of(job.job_id)
         needed_gpus = max(min_res.gpus, 1)
-        if total.gpus < needed_gpus or total.gpus == 0:
+        if total_gpus < needed_gpus or total_gpus == 0:
             state.rollback(mark)
             return False
         best = selector.best(job, state.shape_of(job.job_id))
@@ -452,7 +538,7 @@ class RubickPolicy(SchedulerPolicy):
         trim down to the curve's best feasible count within what was
         acquired and replan there.
         """
-        total = state.totals(job.job_id).gpus
+        total = state.gpus_of(job.job_id)
         curve = selector.curve(job)
         config = curve.config_at(min(total, curve.max_gpus))
         if config is None:
@@ -504,8 +590,8 @@ class RubickPolicy(SchedulerPolicy):
     ) -> None:
         """Grab free GPUs, then shrink the least-sensitive job (Alg. 1 8-16)."""
         job_id = job.job_id
-        while state.totals(job_id).gpus < target_gpus:
-            current = state.totals(job_id).gpus
+        while state.gpus_of(job_id) < target_gpus:
+            current = state.gpus_of(job_id)
             below_min = current < min_res.gpus
             my_slope = selector.gpu_slope_up(job, current) / baselines[job_id]
             if not below_min and my_slope <= _EPS_SLOPE:
@@ -584,14 +670,14 @@ class RubickPolicy(SchedulerPolicy):
             victim = by_id.get(job_id)
             if victim is None:
                 continue
-            total = state.totals(job_id)
+            total_gpus = state.gpus_of(job_id)
             floor = (victim.min_res or ResourceVector.zero()).gpus
-            if victim.spec.is_guaranteed and total.gpus - 1 < floor:
+            if victim.spec.is_guaranteed and total_gpus - 1 < floor:
                 continue  # would violate its performance guarantee
-            if not victim.spec.is_guaranteed and total.gpus - 1 < 0:
+            if not victim.spec.is_guaranteed and total_gpus - 1 < 0:
                 continue
             slope = (
-                selector.gpu_slope_down(victim, total.gpus)
+                selector.gpu_slope_down(victim, total_gpus)
                 / baselines[victim.job_id]
             )
             if best is None or slope < best[1]:
@@ -620,7 +706,7 @@ class RubickPolicy(SchedulerPolicy):
     ) -> None:
         """CPU pass of Alg. 1: top up to the default ratio, then by slope."""
         job_id = job.job_id
-        if state.totals(job_id).gpus == 0:
+        if state.gpus_of(job_id) == 0:
             return
         for node in state.nodes:
             share = node.share_of(job_id)
@@ -640,7 +726,7 @@ class RubickPolicy(SchedulerPolicy):
             guard += 1
             shape = state.shape_of(job_id)
             slope = selector.cpu_slope_up(job, shape) / baselines[job_id]
-            below_min = state.totals(job_id).cpus < min_res.cpus
+            below_min = state.cpus_of(job_id) < min_res.cpus
             if not below_min and slope <= _EPS_SLOPE:
                 break
             node = next(
@@ -690,11 +776,11 @@ class RubickPolicy(SchedulerPolicy):
             victim = by_id.get(job_id)
             if victim is None:
                 continue
-            total = state.totals(job_id)
             floor = max(
-                (victim.min_res or ResourceVector.zero()).cpus, total.gpus
+                (victim.min_res or ResourceVector.zero()).cpus,
+                state.gpus_of(job_id),
             )
-            if total.cpus - 1 < floor or share.cpus <= share.gpus:
+            if state.cpus_of(job_id) - 1 < floor or share.cpus <= share.gpus:
                 continue
             slope = (
                 selector.cpu_slope_down(victim, state.shape_of(job_id))
@@ -716,19 +802,19 @@ class RubickPolicy(SchedulerPolicy):
     ) -> dict[str, Allocation]:
         allocations: dict[str, Allocation] = {}
         for job in active:
-            total = state.totals(job.job_id)
-            if total.gpus <= 0:
+            if state.gpus_of(job.job_id) <= 0:
                 continue
             best = selector.best(job, state.shape_of(job.job_id))
             if best is None:
                 continue
             plan = best.plan
-            # Trim GPUs the chosen plan does not use (envelope flats).
-            self._trim_to_plan(job.job_id, plan.num_gpus, state)
-            best = selector.best(job, state.shape_of(job.job_id))
-            if best is None:
-                continue
-            plan = best.plan
+            # Trim GPUs the chosen plan does not use (envelope flats); the
+            # shape (and thus the best plan) only changes if a trim landed.
+            if self._trim_to_plan(job.job_id, plan.num_gpus, state):
+                best = selector.best(job, state.shape_of(job.job_id))
+                if best is None:
+                    continue
+                plan = best.plan
             if not self._alloc_mem(job, plan, state):
                 continue
             placement = state.placement_of(job.job_id)
@@ -737,10 +823,11 @@ class RubickPolicy(SchedulerPolicy):
 
     def _trim_to_plan(
         self, job_id: str, plan_gpus: int, state: _RoundState
-    ) -> None:
-        excess = state.totals(job_id).gpus - plan_gpus
+    ) -> bool:
+        """Drop excess GPUs; returns True if anything was trimmed."""
+        excess = state.gpus_of(job_id) - plan_gpus
         if excess <= 0:
-            return
+            return False
         nodes = sorted(
             (n for n in state.nodes if n.share_of(job_id).gpus > 0),
             key=lambda n: n.share_of(job_id).gpus,
@@ -760,6 +847,7 @@ class RubickPolicy(SchedulerPolicy):
                 excess -= 1
             if excess <= 0:
                 break
+        return True
 
     def _alloc_mem(self, job: Job, plan, state: _RoundState) -> bool:
         """Reserve per-node host memory per the framework estimate."""

@@ -37,14 +37,38 @@ class PlanSelector(abc.ABC):
     def __init__(self, analyzer: SensitivityAnalyzer):
         self.analyzer = analyzer
         self.engine = analyzer.engine
+        #: job_id -> (model refit version, job spec, curve).  A thin front
+        #: for the engine's curve memo: slope ranking hits `curve()` many
+        #: times per scheduling round, and the engine's generic lookup
+        #: (restriction key build + plan-space hash) costs more than this
+        #: one dict probe.  Entries are version-checked on every read, so a
+        #: refit falls through to the engine exactly like a direct call —
+        #: this is a cache of the *lookup*, never of stale results.  The
+        #: stored spec guards identity: a recycled job_id from a different
+        #: trace carries a different (kept-alive) spec object and misses.
+        self._curve_front: dict[str, tuple[int, object, GpuCurve]] = {}
 
     @abc.abstractmethod
     def best(self, job: Job, shape: ResourceShape) -> BestConfig | None:
         """Best permitted plan for the job on an exact shape (or None)."""
 
     @abc.abstractmethod
+    def _build_curve(self, job: Job) -> GpuCurve:
+        """Engine-backed curve under this selector's plan restriction."""
+
     def curve(self, job: Job) -> GpuCurve:
         """GPU sensitivity curve under this selector's plan restriction."""
+        version = self.engine.scorer.version(job.model)
+        cached = self._curve_front.get(job.job_id)
+        if (
+            cached is not None
+            and cached[0] == version
+            and cached[1] is job.spec
+        ):
+            return cached[2]
+        curve = self._build_curve(job)
+        self._curve_front[job.job_id] = (version, job.spec, curve)
+        return curve
 
     # ------------------------------------------------------------------
     # Slopes shared by all selectors
@@ -81,7 +105,7 @@ class BestPlanSelector(PlanSelector):
             job.model, job.spec.global_batch, shape
         )
 
-    def curve(self, job: Job) -> GpuCurve:
+    def _build_curve(self, job: Job) -> GpuCurve:
         return self.analyzer.gpu_curve(job.model, job.spec.global_batch)
 
 
@@ -160,7 +184,7 @@ class ScaledDpSelector(PlanSelector):
             check_host_mem=True,
         )
 
-    def curve(self, job: Job) -> GpuCurve:
+    def _build_curve(self, job: Job) -> GpuCurve:
         return self.engine.curve_of(
             job.model,
             job.spec.global_batch,
@@ -187,7 +211,7 @@ class FixedPlanSelector(PlanSelector):
             key=("fixed", plan),
         )
 
-    def curve(self, job: Job) -> GpuCurve:
+    def _build_curve(self, job: Job) -> GpuCurve:
         return self.engine.curve_of(
             job.model,
             job.spec.global_batch,

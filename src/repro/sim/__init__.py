@@ -1,6 +1,7 @@
 """Discrete-time cluster simulation: engine, traces, workloads, metrics."""
 
 from repro.sim.engine import Simulator
+from repro.sim.events import EventCalendar
 from repro.sim.metrics import JobRecord, SimulationResult
 from repro.sim.trace import Trace, TraceJob
 from repro.sim.workload import (
@@ -16,6 +17,7 @@ from repro.sim.workload import (
 __all__ = [
     "DEFAULT_GPU_MIX",
     "MODEL_MIN_GPUS",
+    "EventCalendar",
     "JobRecord",
     "SimulationResult",
     "Simulator",

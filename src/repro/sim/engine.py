@@ -8,7 +8,12 @@ Mechanics:
 
 * **Event-driven core** — the clock jumps to the next of {job arrival,
   earliest predicted completion, periodic tick}; between events every running
-  job advances by ``throughput × dt``.
+  job advances by ``throughput × dt``.  The next event comes from an
+  incremental :class:`~repro.sim.events.EventCalendar`; steady-state
+  tick-only rounds skip the policy invocation entirely when the previous
+  decision is provably still the fixed point (see ``fast_path`` and
+  :meth:`~repro.scheduler.interfaces.SchedulerPolicy.steady_state` —
+  DESIGN.md items 26–28).
 * **Reconfiguration cost** — whenever a running job's GPU placement or plan
   changes (including preemption + later restart), the job pauses for the
   checkpoint-resume delta (default 78 s, the paper's measured mean).
@@ -40,6 +45,7 @@ from repro.scheduler.interfaces import (
     Tenant,
 )
 from repro.scheduler.job import Job, JobSpec, JobStatus
+from repro.sim.events import EventCalendar
 from repro.sim.metrics import JobRecord, SimulationResult
 from repro.sim.trace import Trace
 
@@ -62,6 +68,7 @@ class Simulator:
         default_cpus_per_gpu: int = 4,
         max_sim_time: float = 120 * 3600.0,
         online_refitter=None,
+        fast_path: bool = True,
     ):
         self.cluster_spec = cluster_spec
         self.policy = policy
@@ -76,13 +83,22 @@ class Simulator:
         #: set, every realized-throughput observation can trigger a refit
         #: (paper §4.3 continuous model fitting).
         self.online_refitter = online_refitter
+        #: When True (default), the run loop uses diff-based allocation
+        #: apply and the steady-state policy short-circuit.  ``False`` keeps
+        #: the pre-PR reference behavior — same results (the golden suite in
+        #: ``tests/test_sim_fastpath.py`` asserts byte-identity), used as
+        #: the baseline by ``benchmarks/bench_sim_speed.py``.
+        self.fast_path = fast_path
+        #: Memoized ground-truth scorer shared between the plan engine and
+        #: the per-round configuration re-scoring in :meth:`_apply`.
+        self.scorer = TestbedScorer(self.testbed)
         #: Ground-truth plan evaluation (intrinsic-work accounting): the
         #: same memoized engine the policies use, but scored against the
         #: testbed instead of fitted models.  Ground truth never refits, so
         #: its memo entries live for the whole simulation.
         self.plan_engine = PlanEvalEngine(
             cluster_spec,
-            scorer=TestbedScorer(self.testbed),
+            scorer=self.scorer,
             cpus_per_gpu=default_cpus_per_gpu,
         )
 
@@ -148,7 +164,7 @@ class Simulator:
             cpus=cpus,
         )
         # SLA baseline: what the user's own configuration would achieve.
-        baseline = self.testbed.true_throughput(
+        baseline = self.scorer.true_throughput(
             model, tj.initial_plan, shape, tj.global_batch
         )
         best_thr = self._best_throughput(model, tj.requested_gpus, tj.global_batch)
@@ -182,10 +198,13 @@ class Simulator:
         *,
         tenants: dict[str, Tenant] | None = None,
     ) -> SimulationResult:
+        wall_start = _time.perf_counter()
         profiling_seconds = self._profile_models(trace)
         cluster = Cluster(self.cluster_spec)
-        pending = list(trace.jobs)  # sorted by submit time already
-        jobs: dict[str, Job] = {}
+        calendar = EventCalendar(trace.jobs, self.tick_interval)
+        #: Insertion order is arrival order — the iteration order the
+        #: pre-PR `[j for j in jobs.values() if j.is_active]` rebuild had.
+        active: dict[str, Job] = {}
         gpu_seconds: dict[str, float] = {}
         result = SimulationResult(
             policy_name=self.policy.name,
@@ -199,22 +218,26 @@ class Simulator:
             reconfig_delta=self.reconfig_delta,
         )
 
-        now = pending[0].submit_time if pending else 0.0
+        fast = self.fast_path
+        #: True while the last policy decision is provably still the fixed
+        #: point — set only on rounds the policy actually ran (see below).
+        steady = False
+        now = calendar.first_arrival_time(default=0.0)
         idle_rounds = 0
         while True:
             # --- admit arrivals at `now` -------------------------------
-            while pending and pending[0].submit_time <= now + _EPS:
-                tj = pending.pop(0)
+            arrived = False
+            for tj in calendar.pop_arrivals(now + _EPS):
                 job = self._make_job(tj)
-                jobs[job.job_id] = job
+                active[job.job_id] = job
                 gpu_seconds[job.job_id] = 0.0
-
-            active = [j for j in jobs.values() if j.is_active]
+                arrived = True
 
             # --- detect completions ------------------------------------
+            finished = False
             finished_now = [
                 j
-                for j in active
+                for j in active.values()
                 if j.is_running and j.remaining_samples <= _EPS
             ]
             for job in finished_now:
@@ -222,14 +245,15 @@ class Simulator:
                 job.finish_time = now
                 job.throughput = 0.0
                 cluster.release(job.job_id)
+                calendar.invalidate(job.job_id)
+                del active[job.job_id]
                 result.records.append(
                     JobRecord.from_job(job, gpu_seconds[job.job_id])
                 )
-            if finished_now:
-                active = [j for j in jobs.values() if j.is_active]
+                finished = True
 
             # --- termination --------------------------------------------
-            if not active and not pending:
+            if not active and not calendar.has_arrivals:
                 break
             if now > self.max_sim_time:
                 raise SimulationError(
@@ -238,35 +262,73 @@ class Simulator:
                 )
 
             # --- run the policy -----------------------------------------
-            ctx.now = now
-            wall = _time.perf_counter()
-            allocations = self.policy.schedule(active, cluster, ctx)
-            result.policy_wall_seconds += _time.perf_counter() - wall
-            result.policy_invocations += 1
-            self._apply(allocations, active, cluster, now)
-
-            # Deadlock guard: nothing running, nothing arriving, queue stuck.
-            running = [j for j in active if j.is_running]
-            if not running and not pending:
-                idle_rounds += 1
-                if idle_rounds > 3:
-                    stuck = ", ".join(j.job_id for j in active[:5])
-                    raise SimulationError(
-                        f"policy {self.policy.name!r} cannot place remaining "
-                        f"jobs ({stuck} ...) on an empty cluster"
-                    )
+            result.sim_rounds += 1
+            active_list = list(active.values())
+            if steady and not arrived and not finished:
+                # Steady-state short-circuit: nothing the policy's decision
+                # depends on has changed since it last ran, so invoking it
+                # would reproduce the current allocation verbatim.
+                result.policy_skips += 1
+                idle_rounds = 0  # steady state implies running jobs
             else:
-                idle_rounds = 0
+                ctx.now = now
+                wall = _time.perf_counter()
+                allocations = self.policy.schedule(active_list, cluster, ctx)
+                result.policy_wall_seconds += _time.perf_counter() - wall
+                result.policy_invocations += 1
+                changed = self._apply(
+                    allocations, active_list, cluster, now, calendar,
+                    diff=fast,
+                )
+                # The next rounds may skip the policy only if: the fast path
+                # is on; models cannot refit (refit observations happen in
+                # `_apply`, so skipping would starve the refitter); this
+                # round was a no-op fixed point; no job is mid-pause (the
+                # resume is a time-driven status flip the policy observes);
+                # and the policy declares itself time-insensitive in this
+                # state (`steady_state` — e.g. Rubick keeps running while a
+                # queued best-effort job could cross the starvation
+                # threshold or a reconfiguration gate is still closed).
+                steady = (
+                    fast
+                    and self.online_refitter is None
+                    and not changed
+                    and any(j.is_running for j in active_list)
+                    and all(
+                        j.status != JobStatus.PAUSED for j in active_list
+                    )
+                    and self.policy.steady_state(active_list, ctx)
+                )
+
+                # Deadlock guard: nothing running, nothing arriving, queue
+                # stuck.
+                if (
+                    not any(j.is_running for j in active_list)
+                    and not calendar.has_arrivals
+                ):
+                    idle_rounds += 1
+                    if idle_rounds > 3:
+                        stuck = ", ".join(j.job_id for j in active_list[:5])
+                        raise SimulationError(
+                            f"policy {self.policy.name!r} cannot place "
+                            f"remaining jobs ({stuck} ...) on an empty "
+                            f"cluster"
+                        )
+                else:
+                    idle_rounds = 0
 
             # --- choose the next event time ------------------------------
-            next_time = self._next_event_time(now, pending, active)
-            self._advance(now, next_time, active, gpu_seconds)
+            next_time = calendar.next_event_time(now, active_list)
+            self._advance(now, next_time, active_list, gpu_seconds)
             now = next_time
 
         result.makespan = (
             max((r.finish_time for r in result.records), default=0.0)
             - min((r.submit_time for r in result.records), default=0.0)
         )
+        result.calendar_fast_rounds = calendar.fast_rounds
+        result.calendar_exact_scans = calendar.exact_scans
+        result.sim_wall_seconds = _time.perf_counter() - wall_start
         return result
 
     # ------------------------------------------------------------------
@@ -278,21 +340,73 @@ class Simulator:
         active: list[Job],
         cluster: Cluster,
         now: float,
-    ) -> None:
-        # Two-phase: release everything, then apply the new map — avoids
-        # transient capacity violations from apply ordering.
+        calendar: EventCalendar | None = None,
+        *,
+        diff: bool = True,
+    ) -> bool:
+        """Reconcile the policy's allocation map with the cluster.
+
+        In ``diff`` mode (the fast path) jobs whose placement *and* plan are
+        unchanged are skipped entirely: no cluster release/re-apply churn, no
+        ground-truth re-query (their throughput is a pure function of the
+        unchanged configuration), no feasibility re-check.  Only the changed
+        subset is released (all of it first, then applied in order, so moves
+        between jobs never transiently over-commit a node).  The reference
+        mode (``diff=False``) keeps the pre-PR release-everything/re-apply-
+        everything behavior.  Both modes are byte-identical for maps that fit
+        cluster capacity — which every in-tree policy guarantees — and the
+        golden suite pins that equivalence.
+
+        Returns True if any job's state changed (placement, plan, status or
+        throughput) — the fixed-point signal the steady-state short-circuit
+        keys on.
+        """
+        job_changed: dict[str, bool] = {}
         previous: dict[str, tuple] = {}
         for job in active:
-            previous[job.job_id] = (cluster.placement_of(job.job_id), job.plan)
+            alloc = allocations.get(job.job_id)
+            if diff:
+                unchanged = (
+                    alloc is not None
+                    and job.is_running
+                    and alloc.plan == job.plan
+                    and alloc.placement.shares == job.placement.shares
+                )
+                if unchanged:
+                    job_changed[job.job_id] = False
+                    continue
+                previous[job.job_id] = (job.placement, job.plan)
+            else:
+                previous[job.job_id] = (
+                    cluster.placement_of(job.job_id), job.plan
+                )
             cluster.release(job.job_id)
+            job_changed[job.job_id] = True
 
+        changed_any = False
         for job in active:
+            if not job_changed[job.job_id]:
+                # Unchanged running job: the refitter still observes its
+                # realized throughput each round, exactly as the pre-PR loop
+                # did (the value comes from the memo, not a re-derivation).
+                if self.online_refitter is not None:
+                    self._observe(
+                        job,
+                        job.plan,
+                        ResourceShape.from_placement(job.placement),
+                        job.throughput,
+                    )
+                continue
             alloc = allocations.get(job.job_id)
             prev_placement, prev_plan = previous[job.job_id]
             if alloc is None or alloc.placement.is_empty:
                 if job.is_running:  # preemption
                     self._requeue(job, now)
+                    if calendar is not None:
+                        calendar.invalidate(job.job_id)
+                    changed_any = True
                 continue
+            changed_any = True
             try:
                 cluster.apply(job.job_id, alloc.placement)
             except Exception:
@@ -301,26 +415,24 @@ class Simulator:
                 cluster.release(job.job_id)
                 if job.is_running:
                     self._requeue(job, now)
+                    if calendar is not None:
+                        calendar.invalidate(job.job_id)
                 continue
             shape = ResourceShape.from_placement(alloc.placement)
             try:
-                thr = self.testbed.true_throughput(
+                thr = self.scorer.true_throughput(
                     job.model, alloc.plan, shape, job.spec.global_batch
                 )
             except OutOfMemoryError:
                 cluster.release(job.job_id)
                 if job.is_running:
                     self._requeue(job, now)
+                    if calendar is not None:
+                        calendar.invalidate(job.job_id)
                 continue
 
             if self.online_refitter is not None:
-                perf = self.perf_store.get(job.model)
-                updated = self.online_refitter.observe(
-                    perf, job.model, alloc.plan, shape,
-                    job.spec.global_batch, thr,
-                )
-                if updated is not perf:
-                    self.perf_store.add(updated)
+                self._observe(job, alloc.plan, shape, thr)
 
             gpus_changed = self._gpu_shares(alloc.placement) != self._gpu_shares(
                 prev_placement
@@ -345,6 +457,18 @@ class Simulator:
                 job.pause_until = now + self.reconfig_delta
                 job.reconfig_count += 1
             # CPU/host-only changes keep the job running untouched.
+            if calendar is not None:
+                calendar.track(job, now)
+        return changed_any
+
+    def _observe(self, job: Job, plan, shape, thr: float) -> None:
+        """Feed one realized-throughput observation to the online refitter."""
+        perf = self.perf_store.get(job.model)
+        updated = self.online_refitter.observe(
+            perf, job.model, plan, shape, job.spec.global_batch, thr
+        )
+        if updated is not perf:
+            self.perf_store.add(updated)
 
     @staticmethod
     def _requeue(job: Job, now: float) -> None:
@@ -370,18 +494,6 @@ class Simulator:
     # ------------------------------------------------------------------
     # Time stepping
     # ------------------------------------------------------------------
-    def _next_event_time(self, now: float, pending, active) -> float:
-        candidates = [now + self.tick_interval]
-        if pending:
-            candidates.append(pending[0].submit_time)
-        for job in active:
-            if not job.is_running or job.throughput <= 0:
-                continue
-            start = max(now, job.pause_until if job.status == JobStatus.PAUSED else now)
-            candidates.append(start + job.remaining_samples / job.throughput)
-        next_time = min(candidates)
-        return max(next_time, now + _EPS)
-
     def _advance(
         self,
         t_from: float,

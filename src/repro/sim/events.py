@@ -1,0 +1,162 @@
+"""Event calendar for the simulator's hot loop.
+
+The simulator's clock jumps to the next of {job arrival, earliest predicted
+completion, periodic tick}.  The pre-PR loop re-derived that minimum from
+scratch every round: an O(n²) ``pending.pop(0)`` arrival drain plus a full
+scan over active jobs to recompute every predicted completion.  This module
+replaces both with incremental state:
+
+* **Arrivals** — the trace is already sorted by submit time, so a cursor
+  into it replaces the list-head pops (satellite fix: the drain is now O(n)
+  total instead of O(n²)).
+
+* **Predicted completions** — a lazily-invalidated min-heap of *anchored*
+  completion events.  An event is pushed whenever a job starts, resumes from
+  a reconfiguration pause, or changes throughput (allocation/plan changes),
+  anchored at that moment: ``anchor + remaining/throughput``.  Allocation
+  changes, preemptions, and finishes bump the job's epoch, which lazily
+  voids any events still in the heap (classic calendar-queue invalidation —
+  stale entries are discarded when they surface at the heap top).
+
+The subtlety is floating point.  The pre-PR loop recomputes every running
+job's completion at the *current* clock (``now + remaining/throughput``)
+each round; in exact arithmetic that equals the anchored prediction, but
+each round's ``samples_done`` accumulation rounds, so the two drift apart by
+ulps.  Byte-identical replay therefore cannot use heap entries as event
+times directly.  Instead the heap is used as a sound *early-out*: the
+anchored prediction is within :data:`COMPLETION_SLACK` of the exact value
+(drift is bounded by rounds × ulp(sim time) ≲ 1e-6 s, four orders below the
+slack), so when the earliest live heap entry lies beyond the next tick or
+arrival by more than the slack, no completion can win this round and the
+O(active) recomputation is skipped.  Only rounds where a completion is
+within 10 ms of the tick — i.e. rounds that actually end in or near a
+completion — fall back to the exact pre-PR scan, keeping event times
+bit-for-bit identical to the reference loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+from repro.scheduler.job import Job, JobStatus
+
+_EPS = 1e-6
+
+#: Safety margin (seconds) between an anchored completion hint and the exact
+#: recomputed value.  Must exceed the worst-case accumulated float drift
+#: (≈ rounds × ulp(sim time) ≈ 1e-6 s for 120 h sims) by a wide margin while
+#: staying far below the tick interval so the early-out still fires.
+COMPLETION_SLACK = 1e-2
+
+
+class EventCalendar:
+    """Incremental next-event state: arrival cursor + completion heap + tick.
+
+    ``arrivals`` must be sorted by submit time (traces are).  Completion
+    tracking follows the protocol: the simulator calls :meth:`track` whenever
+    a job's progress anchor changes (start, restart, new allocation/plan/
+    throughput) and :meth:`invalidate` when the job stops running (finish,
+    preemption, failed launch).
+    """
+
+    def __init__(self, arrivals: Sequence, tick_interval: float):
+        self._arrivals = arrivals
+        self._cursor = 0
+        self.tick_interval = tick_interval
+        self._heap: list[tuple[float, int, str]] = []  # (time, epoch, job_id)
+        self._epochs: dict[str, int] = {}
+        #: Diagnostic counters, copied onto ``SimulationResult.calendar_*``
+        #: at the end of a run and reported by the sim-speed benchmark.
+        self.exact_scans = 0
+        self.fast_rounds = 0
+
+    # ------------------------------------------------------------------
+    # Arrivals (sorted-cursor drain)
+    # ------------------------------------------------------------------
+    @property
+    def has_arrivals(self) -> bool:
+        return self._cursor < len(self._arrivals)
+
+    def first_arrival_time(self, default: float = 0.0) -> float:
+        if not self.has_arrivals:
+            return default
+        return self._arrivals[self._cursor].submit_time
+
+    def pop_arrivals(self, cutoff: float) -> Iterable:
+        """Consume and yield every arrival with ``submit_time <= cutoff``."""
+        arrivals = self._arrivals
+        while self._cursor < len(arrivals):
+            tj = arrivals[self._cursor]
+            if tj.submit_time > cutoff:
+                break
+            self._cursor += 1
+            yield tj
+
+    # ------------------------------------------------------------------
+    # Completion events (anchored hints, epoch-invalidated)
+    # ------------------------------------------------------------------
+    def track(self, job: Job, now: float) -> None:
+        """(Re)anchor a job's predicted-completion event at time ``now``.
+
+        Voids any previous event for the job; pushes a new one only if the
+        job is actually progressing toward completion.
+        """
+        epoch = self._epochs.get(job.job_id, 0) + 1
+        self._epochs[job.job_id] = epoch
+        if not job.is_running or job.throughput <= 0:
+            return
+        start = now
+        if job.status == JobStatus.PAUSED and job.pause_until > start:
+            start = job.pause_until
+        heapq.heappush(
+            self._heap,
+            (start + job.remaining_samples / job.throughput, epoch, job.job_id),
+        )
+
+    def invalidate(self, job_id: str) -> None:
+        """Void the job's completion event (lazily removed from the heap)."""
+        if job_id in self._epochs:
+            self._epochs[job_id] += 1
+
+    def _earliest_hint(self) -> float | None:
+        heap = self._heap
+        while heap:
+            time, epoch, job_id = heap[0]
+            if self._epochs.get(job_id) == epoch:
+                return time
+            heapq.heappop(heap)
+        return None
+
+    # ------------------------------------------------------------------
+    # Next event
+    # ------------------------------------------------------------------
+    def next_event_time(self, now: float, active: Sequence[Job]) -> float:
+        """Earliest of tick / next arrival / predicted completions.
+
+        Bit-for-bit identical to the pre-PR full scan: the heap only decides
+        *whether* completions can matter this round; whenever they can, the
+        candidates are recomputed exactly as the reference loop did.
+        """
+        next_time = now + self.tick_interval
+        if self.has_arrivals:
+            arrival = self._arrivals[self._cursor].submit_time
+            if arrival < next_time:
+                next_time = arrival
+        hint = self._earliest_hint()
+        if hint is None or hint > next_time + COMPLETION_SLACK:
+            # No live completion event can precede the tick/arrival: anchored
+            # hints sit within COMPLETION_SLACK of the exact values.
+            self.fast_rounds += 1
+            return max(next_time, now + _EPS)
+        self.exact_scans += 1
+        for job in active:
+            if not job.is_running or job.throughput <= 0:
+                continue
+            start = max(
+                now, job.pause_until if job.status == JobStatus.PAUSED else now
+            )
+            candidate = start + job.remaining_samples / job.throughput
+            if candidate < next_time:
+                next_time = candidate
+        return max(next_time, now + _EPS)

@@ -77,6 +77,19 @@ class SimulationResult:
     profiling_seconds: float = 0.0
     policy_invocations: int = 0
     policy_wall_seconds: float = 0.0
+    #: Scheduling rounds the steady-state short-circuit resolved without
+    #: invoking the policy (always 0 on the reference path).
+    policy_skips: int = 0
+    #: Event-loop rounds processed (arrivals/completions/ticks) and the
+    #: wall-clock cost of the whole `Simulator.run` call — the simulator
+    #: speed metrics behind ``BENCH_simspeed.json`` and the sweep footer.
+    sim_rounds: int = 0
+    sim_wall_seconds: float = 0.0
+    #: Event-calendar diagnostics: rounds resolved from the completion-hint
+    #: heap alone vs. rounds that fell back to the exact completion scan
+    #: (how well `COMPLETION_SLACK` is tuned).  In-memory only.
+    calendar_fast_rounds: int = 0
+    calendar_exact_scans: int = 0
 
     # ------------------------------------------------------------------
     # JCT statistics
@@ -143,6 +156,23 @@ class SimulationResult:
         recon = sum(r.reconfig_gpu_seconds for r in self.records) / HOUR
         total = self.total_gpu_hours
         return recon / total if total > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Simulator speed (perf trajectory, BENCH_simspeed.json)
+    # ------------------------------------------------------------------
+    @property
+    def events_per_second(self) -> float:
+        """Simulated event-loop rounds per wall-clock second."""
+        if self.sim_wall_seconds <= 0:
+            return 0.0
+        return self.sim_rounds / self.sim_wall_seconds
+
+    @property
+    def policy_ms_per_invocation(self) -> float:
+        """Average scheduler wall time per actual policy invocation (ms)."""
+        if self.policy_invocations <= 0:
+            return 0.0
+        return 1000.0 * self.policy_wall_seconds / self.policy_invocations
 
     # ------------------------------------------------------------------
     # SLA

@@ -115,6 +115,13 @@ def result_to_dict(result: SimulationResult) -> dict[str, Any]:
         "makespan": result.makespan,
         "profiling_seconds": result.profiling_seconds,
         "policy_invocations": result.policy_invocations,
+        "policy_skips": result.policy_skips,
+        "sim_rounds": result.sim_rounds,
+        # Wall-clock fields (`policy_wall_seconds`, `sim_wall_seconds`) are
+        # deliberately NOT serialized: persisted result documents must be a
+        # deterministic function of the run spec (sweep workers are byte-
+        # identical to serial execution).  Timing travels through the sweep
+        # runner's in-memory perf channel and `sweep-meta.jsonl` instead.
         "summary": result.summary(),
         "records": [
             {
@@ -175,6 +182,9 @@ def result_from_dict(data: dict[str, Any]) -> SimulationResult:
         makespan=float(data["makespan"]),
         profiling_seconds=float(data["profiling_seconds"]),
         policy_invocations=int(data["policy_invocations"]),
+        # Perf-trajectory counters (absent in pre-fast-path documents).
+        policy_skips=int(data.get("policy_skips", 0)),
+        sim_rounds=int(data.get("sim_rounds", 0)),
     )
 
 

@@ -195,8 +195,11 @@ class TestRequeueStateConsistency:
             raise OutOfMemoryError("plan does not fit")
 
         sim.testbed.true_throughput = boom
+        # diff=False: the fast path deliberately skips re-querying an
+        # unchanged configuration (ground truth is deterministic), so the
+        # launch-time OOM requeue is exercised through the reference mode.
         sim._apply({job.job_id: Allocation(placement, job.plan)}, [job],
-                   cluster, now=200.0)
+                   cluster, now=200.0, diff=False)
         self._assert_clean_requeue(job, cluster, 200.0)
 
     def test_preemption_clears_placement(self):
