@@ -15,8 +15,13 @@ def format_table(
     rows: Iterable[Sequence[object]],
     *,
     title: str | None = None,
+    rule_before: set[int] | frozenset[int] | None = None,
 ) -> str:
-    """Render a fixed-width table."""
+    """Render a fixed-width table.
+
+    ``rule_before`` — row indices before which to repeat the separator
+    rule, visually grouping consecutive rows (e.g. per workload scenario).
+    """
     str_rows = [[_cell(c) for c in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in str_rows:
@@ -28,7 +33,9 @@ def format_table(
     sep = "-+-".join("-" * w for w in widths)
     lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
     lines.append(sep)
-    for row in str_rows:
+    for i, row in enumerate(str_rows):
+        if rule_before and i in rule_before:
+            lines.append(sep)
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
 

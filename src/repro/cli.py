@@ -6,8 +6,11 @@ Commands:
 * ``simulate``       — replay a trace (file or generated) under a scheduler.
 * ``compare``        — run several schedulers on the same trace, print a
                        Table-4-style comparison.
-* ``sweep``          — fan a (policy × variant × seed) grid out across
-                       worker processes with persisted, resumable results.
+* ``sweep``          — fan a (policy × scenario × variant × seed) grid out
+                       across worker processes with persisted, resumable
+                       results.
+* ``workload``       — list, inspect and materialize named workload
+                       scenarios (``repro.workloads``).
 * ``profile``        — fit and print a performance model for one catalog model.
 
 ``simulate``, ``compare`` and ``sweep`` all execute through the experiments
@@ -30,12 +33,21 @@ from repro.experiments import (
     format_sweep_table,
     run_sweep,
 )
+from repro.errors import WorkloadError
 from repro.experiments.spec import VARIANTS
 from repro.models import get_model
 from repro.oracle import SyntheticTestbed, build_perf_model
 from repro.scheduler.registry import POLICIES
 from repro.sim import WorkloadConfig, generate_trace
 from repro.sim.serialization import save_result, save_trace
+from repro.units import HOUR
+from repro.workloads import (
+    DEFAULT_SCENARIO,
+    arrival_to_dict,
+    list_scenarios,
+    resolve_scenario,
+    scenario_trace,
+)
 
 
 def _cluster_from_args(args) -> ClusterSpec:
@@ -89,7 +101,29 @@ def _run_spec(args, policy_name: str) -> RunSpec:
         nodes=args.nodes,
         gpus_per_node=args.gpus_per_node,
         trace_path=args.trace,
+        scenario=getattr(args, "scenario", DEFAULT_SCENARIO),
     )
+
+
+def _check_scenarios(names) -> list[str]:
+    """The unusable names in a scenario list (empty when all resolvable).
+
+    Replay scenarios are also checked for source existence up front: a
+    path typo should fail the invocation immediately, not crash mid-sweep
+    after other runs already burned wall clock.
+    """
+    from pathlib import Path
+
+    bad = []
+    for name in names:
+        try:
+            scenario = resolve_scenario(name)
+        except WorkloadError:
+            bad.append(name)
+            continue
+        if scenario.is_replay and not Path(scenario.source).exists():
+            bad.append(f"{name} (no such file)")
+    return bad
 
 
 def _print_planeval_stats(policy_name: str, policy, sim) -> None:
@@ -195,11 +229,18 @@ def cmd_sweep(args) -> int:
     if bad:
         print(f"unknown variants: {bad}; known: {list(VARIANTS)}")
         return 2
+    scenarios = _csv(args.scenarios)
+    bad = _check_scenarios(scenarios)
+    if bad:
+        known = ", ".join(s.name for s in list_scenarios())
+        print(f"unknown scenarios: {bad}; known: {known}, or replay:<path>")
+        return 2
     try:
         spec = SweepSpec(
             policies=policies,
             seeds=_csv(args.seeds, int),
             variants=variants,
+            scenarios=scenarios,
             num_jobs=args.jobs,
             span=args.span_hours * 3600.0,
             nodes=args.nodes,
@@ -215,7 +256,8 @@ def cmd_sweep(args) -> int:
         return 2
     print(
         f"sweep: {len(runs)} runs "
-        f"({len(spec.policies)} policies x {len(spec.variants)} variants x "
+        f"({len(spec.policies)} policies x {len(spec.scenarios)} scenarios x "
+        f"{len(spec.variants)} variants x "
         f"{len(spec.seeds)} seeds x {len(spec.load_factors)} loads x "
         f"{len(spec.large_model_factors)} model mixes), "
         f"workers={args.workers}, out={args.out}"
@@ -242,6 +284,93 @@ def cmd_sweep(args) -> int:
         f"\nexecuted {executed} runs ({len(outcome.skipped)} resumed) in "
         f"{outcome.total_wall:.1f}s wall "
         f"({run_time:.1f}s of simulation across {outcome.workers} workers)"
+    )
+    return 0
+
+
+def cmd_workload_list(args) -> int:
+    rows = []
+    for scenario in list_scenarios():
+        arrival = scenario.arrival.kind if scenario.arrival else "replay"
+        span = "run's" if scenario.span is None else f"{scenario.span / HOUR:g}h"
+        tenants = (
+            "-" if scenario.guaranteed_fraction is None
+            else f"{scenario.guaranteed_fraction:.0%} guaranteed"
+        )
+        rows.append((scenario.name, arrival, span, tenants,
+                     scenario.description))
+    print(
+        format_table(
+            ["scenario", "arrivals", "span", "tenants", "description"],
+            rows,
+            title="registered workload scenarios (plus replay:<path>)",
+        )
+    )
+    return 0
+
+
+def cmd_workload_show(args) -> int:
+    try:
+        scenario = resolve_scenario(args.name)
+    except WorkloadError as exc:
+        print(str(exc))
+        return 2
+    rows = [("name", scenario.name), ("description", scenario.description)]
+    if scenario.is_replay:
+        rows.append(("source", scenario.source))
+    else:
+        for key, value in arrival_to_dict(scenario.arrival).items():
+            rows.append((f"arrival.{key}", value))
+        mix = scenario.mix
+        rows.extend(
+            [
+                ("mix.gpu_mix", " ".join(
+                    f"{g}:{w:g}" for g, w in mix.gpu_mix)),
+                ("mix.duration_median_min", f"{mix.duration_median / 60:g}"),
+                ("mix.duration_sigma", f"{mix.duration_sigma:g}"),
+                ("mix.large_model_factor", f"{mix.large_model_factor:g}"),
+            ]
+        )
+        if mix.model_weights:
+            rows.append(("mix.model_weights", " ".join(
+                f"{n}:{w:g}" for n, w in mix.model_weights)))
+    if scenario.span is not None:
+        rows.append(("span_hours", f"{scenario.span / HOUR:g}"))
+    if scenario.num_jobs is not None:
+        rows.append(("num_jobs", scenario.num_jobs))
+    if scenario.guaranteed_fraction is not None:
+        rows.append(
+            ("guaranteed_fraction", f"{scenario.guaranteed_fraction:g}")
+        )
+    print(format_table(["field", "value"], rows,
+                       title=f"scenario {scenario.name}"))
+    return 0
+
+
+def cmd_workload_generate(args) -> int:
+    try:
+        scenario = resolve_scenario(args.name)
+    except WorkloadError as exc:
+        print(str(exc))
+        return 2
+    cluster = _cluster_from_args(args)
+    try:
+        trace = scenario_trace(
+            scenario,
+            seed=args.seed,
+            cluster=cluster,
+            num_jobs=args.jobs,
+            span=args.span_hours * HOUR,
+            plan_assignment=args.plans,
+        )
+    except WorkloadError as exc:
+        print(str(exc))
+        return 2
+    save_trace(trace, args.output)
+    print(
+        f"wrote {len(trace)} jobs ({trace.total_gpu_hours:.0f} GPU-h, "
+        f"span {trace.span / HOUR:.1f}h) from scenario {scenario.name} "
+        f"to {args.output}"
     )
     return 0
 
@@ -283,6 +412,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(p)
     p.add_argument("--policy", choices=sorted(POLICIES), default="rubick")
     p.add_argument("--trace", help="trace JSON (generated if omitted)")
+    p.add_argument("--scenario", default=DEFAULT_SCENARIO,
+                   help="workload scenario name or replay:<path> "
+                        "(see `repro workload list`)")
     p.add_argument("--jobs", type=int, default=80)
     p.add_argument("--output", help="write the result JSON here")
     _add_stats_arg(p)
@@ -292,13 +424,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(p)
     p.add_argument("--policies", default="rubick,sia,synergy")
     p.add_argument("--trace", help="trace JSON (generated if omitted)")
+    p.add_argument("--scenario", default=DEFAULT_SCENARIO,
+                   help="workload scenario name or replay:<path>")
     p.add_argument("--jobs", type=int, default=80)
     _add_stats_arg(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser(
         "sweep",
-        help="run a (policy x variant x seed) grid across worker processes",
+        help="run a (policy x scenario x variant x seed) grid across "
+             "worker processes",
     )
     p.add_argument("--nodes", type=int, default=8)
     p.add_argument("--gpus-per-node", type=int, default=8)
@@ -307,6 +442,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated seed list (e.g. 0,1,2)")
     p.add_argument("--variants", default="base",
                    help=f"comma-separated subset of {','.join(VARIANTS)}")
+    p.add_argument("--scenarios", default=DEFAULT_SCENARIO,
+                   help="comma-separated workload scenarios "
+                        "(see `repro workload list`; replay:<path> allowed)")
     p.add_argument("--loads", default="1.0",
                    help="comma-separated arrival-rate factors (Fig. 10)")
     p.add_argument("--large-model-factors", default="1.0",
@@ -320,6 +458,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="skip runs whose result is already on disk")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "workload", help="list, inspect and materialize workload scenarios"
+    )
+    wsub = p.add_subparsers(dest="workload_command", required=True)
+
+    w = wsub.add_parser("list", help="table of registered scenarios")
+    w.set_defaults(func=cmd_workload_list)
+
+    w = wsub.add_parser("show", help="arrival/mix details of one scenario")
+    w.add_argument("name")
+    w.set_defaults(func=cmd_workload_show)
+
+    w = wsub.add_parser(
+        "generate",
+        help="build a scenario's trace and save it as native JSON "
+             "(also converts replay:<csv/jsonl> logs)",
+    )
+    w.add_argument("name")
+    _add_cluster_args(w)
+    w.add_argument("--jobs", type=int, default=80)
+    w.add_argument("--span-hours", type=float, default=12.0,
+                   help="window length (scenario overrides win, "
+                        "e.g. diurnal-3d spans 3 days)")
+    w.add_argument("--plans", choices=["random", "best"], default="random")
+    w.add_argument("--output", required=True)
+    w.set_defaults(func=cmd_workload_generate)
 
     p = sub.add_parser("profile", help="fit a performance model for a model")
     _add_cluster_args(p)

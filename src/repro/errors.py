@@ -40,5 +40,26 @@ class SchedulingError(ReproError):
     """A scheduling policy produced an inconsistent or invalid decision."""
 
 
+class WorkloadError(ReproError):
+    """A workload scenario could not be resolved or built."""
+
+
+class WorkloadConfigError(WorkloadError):
+    """A workload configuration is invalid.
+
+    Examples: a ``gpu_mix`` whose weights do not sum to ~1.0 (numpy would
+    silently mis-sample after normalization), a mix whose every entry exceeds
+    the cluster's total GPUs, or arrival-process knobs outside their domain.
+    """
+
+
+class TraceAdapterError(WorkloadError):
+    """An external trace file or row could not be ingested.
+
+    Carries the offending file and row so malformed inputs point at the
+    exact line instead of failing deep inside trace construction.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-time simulator reached an inconsistent state."""

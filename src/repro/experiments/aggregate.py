@@ -3,7 +3,10 @@
 A *cell* is one (policy, trace) combination; its statistics are computed
 across all seeds the sweep ran.  Rendering goes through the same
 ``analysis.report`` helpers as the Table-4 benchmarks, so sweep reports
-read like the paper's tables with a min–max seed spread added.
+read like the paper's tables with a min–max seed spread added.  Sweeps
+spanning several workload scenarios render with a leading ``scenario``
+column and a rule between scenario groups; single-scenario sweeps keep the
+classic table shape.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table, perf_footer, span_cell
 from repro.experiments.spec import RunSpec
 from repro.sim.metrics import SimulationResult
+from repro.workloads.registry import DEFAULT_SCENARIO
 
 
 @dataclass(frozen=True)
@@ -44,6 +48,7 @@ class CellStats:
     makespan_h: SeedStats
     sla_violations: SeedStats
     reconfig_gpu_frac: SeedStats
+    scenario: str = DEFAULT_SCENARIO
 
 
 def aggregate(
@@ -71,6 +76,7 @@ def aggregate(
                 reconfig_gpu_frac=SeedStats.of(
                     [r.reconfig_gpu_hour_fraction for r in results]
                 ),
+                scenario=runs[0].scenario,
             )
         )
     return cells
@@ -88,33 +94,49 @@ def format_sweep_table(
     (``SweepOutcome.perf.values()``); when given, a one-line footer surfaces
     scheduler wall time per invocation and simulator events/s alongside the
     JCT columns.
+
+    Multi-scenario sweeps get a leading ``scenario`` column and a rule
+    between scenario groups; single-scenario sweeps render exactly as
+    before the scenario axis existed.
     """
+    scenarios = {cell.scenario for cell in cells}
+    grouped = len(scenarios) > 1
     rows = []
+    rules = set()
+    previous = None
     for cell in cells:
-        rows.append(
-            (
-                cell.trace_label,
-                cell.policy,
-                len(cell.seeds),
-                span_cell(cell.avg_jct_h.mean, cell.avg_jct_h.lo,
-                          cell.avg_jct_h.hi),
-                span_cell(cell.p99_jct_h.mean, cell.p99_jct_h.lo,
-                          cell.p99_jct_h.hi),
-                span_cell(cell.makespan_h.mean, cell.makespan_h.lo,
-                          cell.makespan_h.hi, fmt="{:.1f}"),
-                span_cell(cell.sla_violations.mean, cell.sla_violations.lo,
-                          cell.sla_violations.hi, fmt="{:.0f}"),
-                span_cell(100 * cell.reconfig_gpu_frac.mean,
-                          100 * cell.reconfig_gpu_frac.lo,
-                          100 * cell.reconfig_gpu_frac.hi),
-            )
+        if grouped and previous is not None and cell.scenario != previous:
+            rules.add(len(rows))
+        previous = cell.scenario
+        # In grouped mode the scenario column already names the trace;
+        # repeat only the decorations (variant/load/mix suffixes).
+        label = cell.trace_label
+        if grouped and label == cell.scenario:
+            label = "-"
+        elif grouped and label.startswith(cell.scenario):
+            label = label[len(cell.scenario):].lstrip("/@ ")
+        row = (
+            label,
+            cell.policy,
+            len(cell.seeds),
+            span_cell(cell.avg_jct_h.mean, cell.avg_jct_h.lo,
+                      cell.avg_jct_h.hi),
+            span_cell(cell.p99_jct_h.mean, cell.p99_jct_h.lo,
+                      cell.p99_jct_h.hi),
+            span_cell(cell.makespan_h.mean, cell.makespan_h.lo,
+                      cell.makespan_h.hi, fmt="{:.1f}"),
+            span_cell(cell.sla_violations.mean, cell.sla_violations.lo,
+                      cell.sla_violations.hi, fmt="{:.0f}"),
+            span_cell(100 * cell.reconfig_gpu_frac.mean,
+                      100 * cell.reconfig_gpu_frac.lo,
+                      100 * cell.reconfig_gpu_frac.hi),
         )
-    table = format_table(
-        ["trace", "scheduler", "seeds", "avg JCT h", "p99 JCT h",
-         "makespan h", "SLA viol", "reconfig GPU %"],
-        rows,
-        title=title,
-    )
+        rows.append((cell.scenario, *row) if grouped else row)
+    headers = ["trace", "scheduler", "seeds", "avg JCT h", "p99 JCT h",
+               "makespan h", "SLA viol", "reconfig GPU %"]
+    if grouped:
+        headers = ["scenario", *headers]
+    table = format_table(headers, rows, title=title, rule_before=rules)
     if perf is not None:
         table = f"{table}\n{perf_footer(perf)}"
     return table

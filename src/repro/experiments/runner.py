@@ -33,6 +33,7 @@ from repro.sim.workload import (
     to_best_plan_trace,
     to_multi_tenant_trace,
 )
+from repro.workloads.registry import resolve_scenario, scenario_trace
 
 #: Per-process memo of *unscaled* traces: runs differing only in policy or
 #: load factor share one (moderately expensive) trace construction; the
@@ -51,21 +52,55 @@ def _trace_memo_key(run: RunSpec) -> str:
 
 
 def build_trace(run: RunSpec) -> Trace:
-    """Construct (or load) the trace a run replays, deterministically."""
+    """Construct (or load) the trace a run replays, deterministically.
+
+    Resolution order: an explicit ``trace_path`` wins; a replay scenario
+    ingests its external source through the adapters; otherwise the
+    scenario's generator config is expanded (with the scenario's own
+    tenant split applied at build time).  Variant and load transforms
+    apply on top in every case.
+    """
     base_run = _base_run(run)
     key = base_run.trace_fingerprint
     trace = _TRACE_CACHE.get(key)
     if trace is None:
+        scenario = resolve_scenario(base_run.scenario)
         if base_run.trace_path is not None:
             trace = load_trace(base_run.trace_path)
+        elif scenario.is_replay:
+            trace = scenario_trace(
+                scenario,
+                seed=base_run.seed,
+                cluster=base_run.cluster,
+                plan_assignment=base_run.plan_assignment,
+            )
         else:
             testbed = SyntheticTestbed(base_run.cluster, seed=base_run.seed)
             trace = generate_trace(base_run.workload_config(), testbed)
+            # The scenario's own tenant split applies once: when the run
+            # *also* asks for the mt variant, the variant's split below
+            # honors the scenario's fraction instead of re-splitting.
+            if (
+                scenario.guaranteed_fraction is not None
+                and base_run.variant != "mt"
+            ):
+                trace = to_multi_tenant_trace(
+                    trace,
+                    seed=base_run.seed,
+                    guaranteed_fraction=scenario.guaranteed_fraction,
+                    name=trace.name,
+                )
         if base_run.variant == "bp":
             testbed = SyntheticTestbed(base_run.cluster, seed=base_run.seed)
             trace = to_best_plan_trace(trace, testbed, name="bp")
         elif base_run.variant == "mt":
-            trace = to_multi_tenant_trace(trace, seed=base_run.seed, name="mt")
+            fraction = scenario.guaranteed_fraction
+            trace = to_multi_tenant_trace(
+                trace,
+                seed=base_run.seed,
+                guaranteed_fraction=0.5 if fraction is None else fraction,
+                name="mt",
+            )
         _TRACE_CACHE[key] = trace
     if run.load_factor != 1.0:
         trace = trace.scaled_load(run.load_factor)
@@ -73,12 +108,14 @@ def build_trace(run: RunSpec) -> Trace:
 
 
 def default_tenants(run: RunSpec) -> dict[str, Tenant] | None:
-    """Tenant setup implied by the trace variant.
+    """Tenant setup implied by the trace variant or scenario split.
 
-    The MT variant reproduces the paper's two-tenant experiment: tenant-a
-    holds the whole-cluster guaranteed quota, tenant-b runs best-effort.
+    The MT variant (and any scenario with a ``guaranteed_fraction``)
+    reproduces the paper's two-tenant experiment: tenant-a holds the
+    whole-cluster guaranteed quota, tenant-b runs best-effort.
     """
-    if run.variant != "mt":
+    scenario = resolve_scenario(run.scenario)
+    if run.variant != "mt" and scenario.guaranteed_fraction is None:
         return None
     return {
         "tenant-a": Tenant(name="tenant-a", gpu_quota=run.cluster.total_gpus),

@@ -1,12 +1,17 @@
 """Declarative sweep grids: frozen, individually-addressable run specs.
 
-A :class:`SweepSpec` describes a grid of simulations — policies × trace
-variants × seeds × (cluster, load, model-mix) knobs — and expands into a
-deterministic tuple of :class:`RunSpec`, one per simulation.  Every RunSpec
-is a frozen, JSON-round-trippable value object with a stable ``run_key``:
-the same spec always produces the same keys, across processes and Python
-versions, so sweep results are individually addressable on disk and a
-crashed sweep can resume by key.
+A :class:`SweepSpec` describes a grid of simulations — policies × workload
+scenarios × trace variants × seeds × (cluster, load, model-mix) knobs — and
+expands into a deterministic tuple of :class:`RunSpec`, one per simulation.
+Every RunSpec is a frozen, JSON-round-trippable value object with a stable
+``run_key``: the same spec always produces the same keys, across processes
+and Python versions, so sweep results are individually addressable on disk
+and a crashed sweep can resume by key.
+
+The ``scenario`` axis names a registered workload composition
+(``repro.workloads.registry``) or a ``replay:<path>`` adapter source.  The
+default scenario is *omitted from the identity digest*, so every pre-axis
+run key is unchanged — old sweep directories keep resuming.
 
 Nothing here touches a simulator: specs are pure data.  Workers rebuild
 ``Simulator``/``SyntheticTestbed`` objects from the spec (see
@@ -22,9 +27,15 @@ from dataclasses import asdict, dataclass, replace
 from typing import Any
 
 from repro.cluster.topology import ClusterSpec, NodeSpec
+from repro.errors import WorkloadError
 from repro.scheduler.registry import POLICIES
 from repro.sim.workload import WorkloadConfig, with_large_model_share
 from repro.units import HOUR
+from repro.workloads.registry import (
+    DEFAULT_SCENARIO,
+    resolve_scenario,
+    scenario_workload_config,
+)
 
 #: Trace variants of the paper's evaluation (§7.3).
 VARIANTS = ("base", "bp", "mt")
@@ -57,6 +68,10 @@ class RunSpec:
     #: When set, the trace is loaded from this JSON file instead of being
     #: generated (variant/load transforms still apply on top).
     trace_path: str | None = None
+    #: Named workload composition (``repro.workloads.registry``) or
+    #: ``replay:<path>``.  The default is digest-transparent: pre-axis run
+    #: keys are unchanged.
+    scenario: str = DEFAULT_SCENARIO
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -69,7 +84,15 @@ class RunSpec:
             )
         if self.load_factor <= 0:
             raise ValueError("load_factor must be positive")
-        if self.num_jobs <= 0 and self.trace_path is None:
+        try:
+            scenario = resolve_scenario(self.scenario)
+        except WorkloadError as exc:
+            raise ValueError(str(exc)) from None
+        if (
+            self.num_jobs <= 0
+            and self.trace_path is None
+            and not scenario.is_replay
+        ):
             raise ValueError("num_jobs must be positive")
 
     # ------------------------------------------------------------------
@@ -82,14 +105,19 @@ class RunSpec:
         )
 
     def workload_config(self) -> WorkloadConfig:
-        """The generator config this run's trace derives from."""
-        config = WorkloadConfig(
-            num_jobs=self.num_jobs,
-            span=self.span,
+        """The generator config this run's trace derives from.
+
+        Raises :class:`~repro.errors.WorkloadError` for replay scenarios,
+        which have no generator (the runner ingests their source instead).
+        """
+        config = scenario_workload_config(
+            resolve_scenario(self.scenario),
             seed=self.seed,
             cluster=self.cluster,
+            num_jobs=self.num_jobs,
+            span=self.span,
             plan_assignment=self.plan_assignment,
-            name=self.trace_name,
+            trace_name=self.trace_name,
         )
         if self.large_model_factor != 1.0:
             config = with_large_model_share(config, self.large_model_factor)
@@ -109,6 +137,10 @@ class RunSpec:
         payload = self.to_dict()
         if not include_policy:
             payload.pop("policy")
+        # Digest-transparent default: keys minted before the scenario axis
+        # existed stay valid (old sweep directories keep resuming).
+        if payload.get("scenario") == DEFAULT_SCENARIO:
+            payload.pop("scenario")
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode()).hexdigest()[:8]
 
@@ -142,7 +174,12 @@ class RunSpec:
     @property
     def trace_label(self) -> str:
         """Short human label of the trace cell (for report tables)."""
-        label = self.trace_name if self.trace_path is None else self.trace_path
+        if self.trace_path is not None:
+            label = self.trace_path
+        elif self.scenario != DEFAULT_SCENARIO:
+            label = self.scenario
+        else:
+            label = self.trace_name
         if self.variant != "base":
             label += f"/{self.variant}"
         if self.load_factor != 1.0:
@@ -156,14 +193,15 @@ class RunSpec:
 class SweepSpec:
     """A declarative grid of runs (the unit `repro sweep` executes).
 
-    Expansion order is the documented nesting — variant, load factor,
-    large-model factor, seed, policy — and is deterministic: the same spec
-    always yields the same runs in the same order.
+    Expansion order is the documented nesting — scenario, variant, load
+    factor, large-model factor, seed, policy — and is deterministic: the
+    same spec always yields the same runs in the same order.
     """
 
     policies: tuple[str, ...]
     seeds: tuple[int, ...] = (0,)
     variants: tuple[str, ...] = ("base",)
+    scenarios: tuple[str, ...] = (DEFAULT_SCENARIO,)
     num_jobs: int = 80
     span: float = 12 * HOUR
     nodes: int = 8
@@ -176,7 +214,7 @@ class SweepSpec:
     def __post_init__(self) -> None:
         # Accept lists for convenience; store canonical tuples.
         for name in (
-            "policies", "seeds", "variants", "load_factors",
+            "policies", "seeds", "variants", "scenarios", "load_factors",
             "large_model_factors",
         ):
             object.__setattr__(self, name, tuple(getattr(self, name)))
@@ -184,6 +222,7 @@ class SweepSpec:
             ("policies", self.policies),
             ("seeds", self.seeds),
             ("variants", self.variants),
+            ("scenarios", self.scenarios),
             ("load_factors", self.load_factors),
             ("large_model_factors", self.large_model_factors),
         ):
@@ -196,26 +235,28 @@ class SweepSpec:
     def expand(self) -> tuple[RunSpec, ...]:
         """The full grid as individually-addressable runs."""
         runs = []
-        for variant in self.variants:
-            for load in self.load_factors:
-                for lm_factor in self.large_model_factors:
-                    for seed in self.seeds:
-                        for policy in self.policies:
-                            runs.append(
-                                RunSpec(
-                                    policy=policy,
-                                    variant=variant,
-                                    seed=seed,
-                                    num_jobs=self.num_jobs,
-                                    span=self.span,
-                                    nodes=self.nodes,
-                                    gpus_per_node=self.gpus_per_node,
-                                    load_factor=load,
-                                    large_model_factor=lm_factor,
-                                    plan_assignment=self.plan_assignment,
-                                    trace_name=self.trace_name,
+        for scenario in self.scenarios:
+            for variant in self.variants:
+                for load in self.load_factors:
+                    for lm_factor in self.large_model_factors:
+                        for seed in self.seeds:
+                            for policy in self.policies:
+                                runs.append(
+                                    RunSpec(
+                                        policy=policy,
+                                        variant=variant,
+                                        seed=seed,
+                                        num_jobs=self.num_jobs,
+                                        span=self.span,
+                                        nodes=self.nodes,
+                                        gpus_per_node=self.gpus_per_node,
+                                        load_factor=load,
+                                        large_model_factor=lm_factor,
+                                        plan_assignment=self.plan_assignment,
+                                        trace_name=self.trace_name,
+                                        scenario=scenario,
+                                    )
                                 )
-                            )
         return tuple(runs)
 
     def to_dict(self) -> dict[str, Any]:
@@ -228,7 +269,7 @@ class SweepSpec:
         data = dict(data)
         data.pop("format_version", None)
         for name in (
-            "policies", "seeds", "variants", "load_factors",
+            "policies", "seeds", "variants", "scenarios", "load_factors",
             "large_model_factors",
         ):
             if name in data:

@@ -15,6 +15,7 @@ from repro.models.catalog import (
     get_model,
     is_large_model,
     is_small_model,
+    scaled_large_model_weights,
 )
 from repro.models.specs import ModelSpec, ModelWorkload
 
@@ -35,4 +36,5 @@ __all__ = [
     "get_model",
     "is_large_model",
     "is_small_model",
+    "scaled_large_model_weights",
 ]

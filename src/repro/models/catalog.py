@@ -142,3 +142,15 @@ def is_small_model(spec: ModelSpec) -> bool:
 def is_large_model(spec: ModelSpec) -> bool:
     """Whether this model counts as "large" for the Fig. 11 mix sweep."""
     return spec.name in LARGE_MODEL_NAMES
+
+
+def scaled_large_model_weights(factor: float) -> dict[str, float]:
+    """Uniform sampling weights with the large models scaled by ``factor``.
+
+    The Fig. 11 model-mix knob as data: used by the trace generator's
+    large-model sweep and by workload scenario mixes (``largemodel-heavy``).
+    """
+    weights = {name: 1.0 for name in CATALOG}
+    for name in LARGE_MODEL_NAMES:
+        weights[name] = factor
+    return weights

@@ -21,7 +21,7 @@ from repro.oracle.testbed import SyntheticTestbed
 from repro.perfmodel.fitting import FitReport, ThroughputSample, fit_perf_model
 from repro.perfmodel.model import PerfModel
 from repro.perfmodel.shape import ResourceShape
-from repro.plans.enumerate import PlanSpace, enumerate_plans
+from repro.plans.enumerate import enumerate_plans
 from repro.plans.plan import ExecutionPlan
 
 #: Wall-clock cost of one profiling run; 7 runs ≈ the paper's 210 s budget.

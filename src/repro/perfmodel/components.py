@@ -202,7 +202,6 @@ def compute_breakdown(
     The caller guarantees the plan matches the shape (``plan.num_gpus ==
     shape.gpus``); memory feasibility is checked elsewhere (`repro.plans.memory`).
     """
-    passes = plan.passes_per_iteration()
     t_pass_fwd = forward_pass_time(model, plan, global_batch, t_fwd_ref, effects)
 
     # Backward pass per micro-batch; GC recomputes a forward on top.

@@ -5,7 +5,8 @@ cluster trace to 406 jobs and assigns each a random catalog model and
 execution plan.  The original trace is not redistributable here, so this
 module generates a statistically similar synthetic trace:
 
-* bursty arrivals over a 12-hour window (uniform background + two peaks),
+* arrivals from a pluggable process (``repro.workloads.arrivals``; default:
+  the paper's uniform background + two submission peaks over 12 hours),
 * the trace's characteristic small-job-dominated GPU-size mix,
 * log-normal durations,
 * random model assignment with the paper's feasibility fix-up ("in case the
@@ -13,6 +14,13 @@ module generates a statistically similar synthetic trace:
   change the duration accordingly to keep the same GPU hours"),
 * Base (random feasible plan), BP (best plan for the initial resources) and
   MT (two-tenant guaranteed/best-effort) variants.
+
+Workload *composition* — which arrival process with which job mix under
+which name — lives one layer up in ``repro.workloads.registry``; this
+module is the generator those scenarios expand through.  The default
+config's draw sequence is unchanged, so default-scenario traces are
+byte-identical to the pre-subsystem generator (golden-tested in
+``tests/test_workloads.py``).
 """
 
 from __future__ import annotations
@@ -20,7 +28,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.cluster.topology import ClusterSpec, PAPER_CLUSTER
-from repro.models.catalog import LARGE_MODEL_NAMES, all_models, get_model
+from repro.models.catalog import (
+    LARGE_MODEL_NAMES,
+    all_models,
+    get_model,
+    scaled_large_model_weights,
+)
 from repro.models.specs import ModelSpec
 from repro.oracle.testbed import SyntheticTestbed
 from repro.perfmodel.shape import ResourceShape
@@ -31,16 +44,18 @@ from repro.scheduler.job import JobPriority
 from repro.scheduler.sensitivity import default_plan_space
 from repro.sim.trace import Trace, TraceJob
 from repro.units import HOUR, MINUTE
+from repro.workloads.arrivals import UNIFORM_PEAKS, ArrivalProcess
+from repro.workloads.mix import DEFAULT_GPU_MIX, validate_gpu_mix
 
-#: GPU-request mix of the Philly trace (small jobs dominate).
-DEFAULT_GPU_MIX: tuple[tuple[int, float], ...] = (
-    (1, 0.42),
-    (2, 0.15),
-    (4, 0.16),
-    (8, 0.15),
-    (16, 0.07),
-    (32, 0.05),
-)
+__all__ = [
+    "DEFAULT_GPU_MIX",
+    "MODEL_MIN_GPUS",
+    "WorkloadConfig",
+    "generate_trace",
+    "to_best_plan_trace",
+    "to_multi_tenant_trace",
+    "with_large_model_share",
+]
 
 #: Floors keeping requested sizes sane for the largest models (the paper
 #: adjusts infeasible GPU numbers per model; see module docstring).
@@ -65,6 +80,16 @@ class WorkloadConfig:
     #: "random" (Base trace) or "best" (BP trace) initial plans.
     plan_assignment: str = "random"
     name: str = "base"
+    #: When jobs arrive (pluggable; the default reproduces the paper's
+    #: uniform-background + two-peaks shape draw for draw).
+    arrival: ArrivalProcess = UNIFORM_PEAKS
+
+    def __post_init__(self) -> None:
+        validate_gpu_mix(self.gpu_mix, self.cluster)
+        if self.num_jobs < 0:
+            raise ValueError(f"num_jobs must be >= 0, got {self.num_jobs}")
+        if self.span <= 0:
+            raise ValueError(f"span must be positive, got {self.span}")
 
 
 def _model_names(config: WorkloadConfig) -> tuple[list[str], list[float]]:
@@ -72,21 +97,6 @@ def _model_names(config: WorkloadConfig) -> tuple[list[str], list[float]]:
     weights = [config.model_weights.get(n, 1.0) for n in names]
     total = sum(weights)
     return names, [w / total for w in weights]
-
-
-def _sample_arrivals(rng, num_jobs: int, span: float) -> list[float]:
-    """Bursty arrivals: uniform background plus two submission peaks."""
-    times = []
-    for _ in range(num_jobs):
-        mode = rng.random()
-        if mode < 0.5:
-            t = rng.uniform(0.0, span)
-        elif mode < 0.75:
-            t = rng.normal(0.30 * span, 0.08 * span)
-        else:
-            t = rng.normal(0.70 * span, 0.08 * span)
-        times.append(float(min(max(t, 0.0), span)))
-    return sorted(times)
 
 
 def _feasible_plans(
@@ -170,7 +180,7 @@ def generate_trace(
     if total <= 0:
         raise ValueError("no profilable model has positive sampling weight")
     weights = [w / total for w in weights]
-    arrivals = _sample_arrivals(rng, config.num_jobs, config.span)
+    arrivals = config.arrival.sample(rng, config.num_jobs, config.span)
     gpu_sizes = [g for g, _ in config.gpu_mix]
     gpu_weights = [w for _, w in config.gpu_mix]
     total_w = sum(gpu_weights)
@@ -271,10 +281,16 @@ def to_multi_tenant_trace(
 def with_large_model_share(
     config: WorkloadConfig, factor: float
 ) -> WorkloadConfig:
-    """Scale the sampling weight of the large models (Fig. 11 sweep)."""
-    weights = {m.name: 1.0 for m in all_models()}
+    """Scale the sampling weight of the large models (Fig. 11 sweep).
+
+    Scales *on top of* any weights the config already carries (a scenario
+    mix, say); with default uniform weights this reduces to the classic
+    "everything 1.0, large models ``factor``" assignment.
+    """
+    weights = scaled_large_model_weights(1.0)
+    weights.update(config.model_weights)
     for name in LARGE_MODEL_NAMES:
-        weights[name] = factor
+        weights[name] = weights[name] * factor
     return replace(
         config,
         model_weights=weights,

@@ -1,0 +1,325 @@
+"""External-trace adapters: ingest real cluster logs as simulator traces.
+
+The third axis of workload construction: instead of sampling arrivals and
+job sizes, replay them from a Philly-style CSV or a Helios-style JSONL log.
+Rows carry what such logs carry — a job id, a submission time, a GPU count
+and a duration — and the adapter supplies what the paper adds on top of its
+down-sampled Microsoft trace (§7.3): a catalog model per job, the
+feasibility fix-up ("in case the original GPU number is infeasible for the
+model, we use a feasible one and change the duration accordingly to keep
+the same GPU hours"), and an initial execution plan.
+
+Model/plan assignment is deterministic per ``(seed, job_id)``, so a replay
+trace is reproducible bit-for-bit and independent of row order or skipped
+malformed neighbors.  Malformed rows raise :class:`TraceAdapterError`
+pointing at the exact ``file:line`` (or are dropped with
+``on_error="skip"``).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.cluster.topology import ClusterSpec
+from repro.errors import TraceAdapterError
+from repro.rng import rng_for
+from repro.sim.trace import Trace, TraceJob
+
+
+@dataclass(frozen=True)
+class ColumnMap:
+    """Field-name mapping from an external log's schema onto trace fields.
+
+    ``status``/``accept_status`` optionally filter rows to completed jobs
+    (the paper evaluates on jobs that ran to completion); a row whose status
+    column is missing from the file is kept.
+    """
+
+    job_id: str = "job_id"
+    submit_time: str = "submit_time"
+    gpus: str = "gpus"
+    duration: str = "duration"
+    status: str = "status"
+    accept_status: tuple[str, ...] = ("Pass",)
+
+
+#: Philly-style CSV columns (Microsoft's published GPU cluster log shape).
+PHILLY_COLUMNS = ColumnMap()
+
+#: Helios-style JSONL keys (SenseTime's published GPU cluster log shape).
+HELIOS_COLUMNS = ColumnMap(
+    job_id="job_name",
+    gpus="num_gpu",
+    status="state",
+    accept_status=("COMPLETED",),
+)
+
+#: Accepted textual timestamp layouts (besides plain seconds).
+_TIME_FORMATS = ("%Y-%m-%d %H:%M:%S", "%Y-%m-%dT%H:%M:%S")
+
+
+@dataclass(frozen=True)
+class _RawJob:
+    """One parsed external row, before model/plan assignment."""
+
+    job_id: str
+    submit_time: float
+    gpus: int
+    duration: float
+    line: int
+
+
+def _parse_time(value) -> float:
+    """Seconds from a numeric value or a timestamp string.
+
+    Textual timestamps are interpreted as UTC: replay must be bit-identical
+    across machines, and local-time parsing would make inter-arrival gaps
+    depend on the host timezone (and swallow/duplicate DST transitions).
+    """
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value).strip()
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    for fmt in _TIME_FORMATS:
+        try:
+            parsed = datetime.strptime(text, fmt)
+            return parsed.replace(tzinfo=timezone.utc).timestamp()
+        except ValueError:
+            continue
+    raise ValueError(f"unparsable timestamp {value!r}")
+
+
+def _parse_row(
+    row: dict, columns: ColumnMap, path: Path, line: int
+) -> _RawJob | None:
+    """A validated :class:`_RawJob`, or ``None`` for a filtered-out status."""
+
+    def fail(message: str):
+        return TraceAdapterError(f"{path}:{line}: {message}")
+
+    status = row.get(columns.status)
+    if status is not None and columns.accept_status:
+        if str(status).strip() not in columns.accept_status:
+            return None
+    values = {}
+    for field in ("job_id", "submit_time", "gpus", "duration"):
+        column = getattr(columns, field)
+        if column not in row or row[column] in (None, ""):
+            raise fail(f"missing column {column!r}")
+        values[field] = row[column]
+    try:
+        submit = _parse_time(values["submit_time"])
+    except ValueError as exc:
+        raise fail(str(exc)) from None
+    try:
+        gpus = int(float(values["gpus"]))
+        duration = float(values["duration"])
+    except (TypeError, ValueError):
+        raise fail(
+            f"non-numeric gpus/duration "
+            f"({values['gpus']!r}, {values['duration']!r})"
+        ) from None
+    if gpus < 1:
+        raise fail(f"gpus must be >= 1, got {gpus}")
+    if duration <= 0.0:
+        raise fail(f"duration must be positive, got {duration:g}")
+    return _RawJob(
+        job_id=str(values["job_id"]).strip(),
+        submit_time=submit,
+        gpus=gpus,
+        duration=duration,
+        line=line,
+    )
+
+
+def _collect(rows, columns, path: Path, on_error: str) -> list[_RawJob]:
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    jobs: list[_RawJob] = []
+    seen: set[str] = set()
+    for line, row in rows:
+        try:
+            raw = _parse_row(row, columns, path, line)
+            if raw is None:
+                continue
+            if raw.job_id in seen:
+                raise TraceAdapterError(
+                    f"{path}:{line}: duplicate job id {raw.job_id!r}"
+                )
+        except TraceAdapterError:
+            if on_error == "skip":
+                continue
+            raise
+        seen.add(raw.job_id)
+        jobs.append(raw)
+    if not jobs:
+        raise TraceAdapterError(f"{path}: no usable job rows")
+    return jobs
+
+
+def _assemble(
+    raw_jobs: list[_RawJob],
+    *,
+    cluster: ClusterSpec,
+    seed: int,
+    plan_assignment: str,
+    name: str,
+    testbed=None,
+) -> Trace:
+    """Assign models/plans and apply the paper's feasibility fix-up."""
+    # Imported here: the generator module imports this package's siblings at
+    # module level, so a top-level import would be circular.
+    from repro.models.catalog import get_model
+    from repro.oracle.testbed import SyntheticTestbed
+    from repro.sim.workload import _fix_gpu_request, _pick_plan
+
+    testbed = testbed or SyntheticTestbed(cluster, seed=seed)
+    names = _profilable_names(testbed)
+    start = min(raw.submit_time for raw in raw_jobs)
+    jobs = []
+    for raw in sorted(raw_jobs, key=lambda r: (r.submit_time, r.job_id)):
+        # Per-job stream keyed on the job id: assignment survives row
+        # reordering and skipped neighbors unchanged.
+        rng = rng_for(seed, "adapter", name, raw.job_id)
+        model = get_model(names[int(rng.integers(len(names)))])
+        gpus, plans = _fix_gpu_request(model, raw.gpus, testbed)
+        duration = raw.duration
+        if gpus != raw.gpus:
+            duration *= raw.gpus / gpus  # keep GPU-hours constant
+        plan = _pick_plan(plans, model, gpus, testbed, rng, plan_assignment)
+        jobs.append(
+            TraceJob(
+                job_id=raw.job_id,
+                model_name=model.name,
+                submit_time=raw.submit_time - start,
+                requested_gpus=gpus,
+                duration=duration,
+                initial_plan=plan,
+                global_batch=model.global_batch_size,
+            )
+        )
+    return Trace(jobs=tuple(jobs), name=name)
+
+
+def _profilable_names(testbed) -> list[str]:
+    from repro.models.catalog import all_models
+    from repro.sim.workload import _can_profile
+
+    return [
+        spec.name for spec in all_models() if _can_profile(testbed, spec.name)
+    ]
+
+
+def load_philly_csv(
+    path: str | Path,
+    *,
+    cluster: ClusterSpec,
+    seed: int = 0,
+    plan_assignment: str = "random",
+    columns: ColumnMap = PHILLY_COLUMNS,
+    on_error: str = "raise",
+    name: str | None = None,
+    testbed=None,
+) -> Trace:
+    """Ingest a Philly-style CSV log as a replayable :class:`Trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceAdapterError(f"{path}: no such trace file")
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        # Header is line 1; data rows start at line 2.
+        rows = [(i, row) for i, row in enumerate(reader, start=2)]
+    raw_jobs = _collect(rows, columns, path, on_error)
+    return _assemble(
+        raw_jobs,
+        cluster=cluster,
+        seed=seed,
+        plan_assignment=plan_assignment,
+        name=name or f"replay-{path.stem}",
+        testbed=testbed,
+    )
+
+
+def load_helios_jsonl(
+    path: str | Path,
+    *,
+    cluster: ClusterSpec,
+    seed: int = 0,
+    plan_assignment: str = "random",
+    columns: ColumnMap = HELIOS_COLUMNS,
+    on_error: str = "raise",
+    name: str | None = None,
+    testbed=None,
+) -> Trace:
+    """Ingest a Helios-style JSONL log as a replayable :class:`Trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceAdapterError(f"{path}: no such trace file")
+    rows = []
+    for line, text in enumerate(path.read_text().splitlines(), start=1):
+        if not text.strip():
+            continue
+        try:
+            row = json.loads(text)
+        except json.JSONDecodeError as exc:
+            if on_error == "skip":
+                continue
+            raise TraceAdapterError(f"{path}:{line}: invalid JSON ({exc.msg})")
+        if not isinstance(row, dict):
+            if on_error == "skip":
+                continue
+            raise TraceAdapterError(f"{path}:{line}: row is not an object")
+        rows.append((line, row))
+    raw_jobs = _collect(rows, columns, path, on_error)
+    return _assemble(
+        raw_jobs,
+        cluster=cluster,
+        seed=seed,
+        plan_assignment=plan_assignment,
+        name=name or f"replay-{path.stem}",
+        testbed=testbed,
+    )
+
+
+def load_external_trace(
+    path: str | Path,
+    *,
+    cluster: ClusterSpec,
+    seed: int = 0,
+    plan_assignment: str = "random",
+    on_error: str = "raise",
+    testbed=None,
+) -> Trace:
+    """Dispatch on file extension: ``.csv`` Philly, ``.jsonl`` Helios,
+    ``.json`` native (a trace previously saved by ``save_trace``)."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        return load_philly_csv(
+            path, cluster=cluster, seed=seed,
+            plan_assignment=plan_assignment, on_error=on_error,
+            testbed=testbed,
+        )
+    if suffix == ".jsonl":
+        return load_helios_jsonl(
+            path, cluster=cluster, seed=seed,
+            plan_assignment=plan_assignment, on_error=on_error,
+            testbed=testbed,
+        )
+    if suffix == ".json":
+        from repro.sim.serialization import load_trace
+
+        if not path.exists():
+            raise TraceAdapterError(f"{path}: no such trace file")
+        return load_trace(path)
+    raise TraceAdapterError(
+        f"{path}: unsupported trace format {suffix!r} "
+        "(expected .csv, .jsonl or .json)"
+    )

@@ -1,0 +1,163 @@
+"""Job-mix models: what the arriving jobs look like.
+
+The second axis of workload construction (the first is *when* jobs arrive,
+``repro.workloads.arrivals``): GPU-request mix, duration distribution, and
+model-sampling weights, as one frozen, validated config.  A
+:class:`JobMix` maps onto the generator's ``WorkloadConfig`` fields through
+the scenario registry; its defaults are exactly the paper's §7.3 trace
+statistics, so the default scenario's generator config is unchanged.
+
+Validation lives here too: :func:`validate_gpu_mix` rejects a mix whose
+weights do not sum to ~1.0 (numpy's ``choice`` would otherwise silently
+sample a renormalized distribution) or whose every entry exceeds the target
+cluster — both formerly silent mis-sampling modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadConfigError
+from repro.models.catalog import (
+    CATALOG,
+    LARGE_MODEL_NAMES,
+    scaled_large_model_weights,
+)
+from repro.units import HOUR, MINUTE
+
+#: GPU-request mix of the Philly trace (small jobs dominate; paper §7.3).
+DEFAULT_GPU_MIX: tuple[tuple[int, float], ...] = (
+    (1, 0.42),
+    (2, 0.15),
+    (4, 0.16),
+    (8, 0.15),
+    (16, 0.07),
+    (32, 0.05),
+)
+
+#: Tolerance on the gpu-mix weight sum (guards against silently-renormalized
+#: sampling, not against honest float rounding).
+_MIX_SUM_TOLERANCE = 1e-6
+
+
+def validate_gpu_mix(
+    gpu_mix: tuple[tuple[int, float], ...], cluster=None
+) -> None:
+    """Reject a malformed GPU-request mix with a precise error.
+
+    * sizes must be positive integers, weights non-negative with at least
+      one positive entry;
+    * weights must sum to 1.0 within ``1e-6`` — numpy's ``choice`` requires
+      normalized probabilities, and pre-validation normalization hid typos
+      like a mix summing to 2.0;
+    * when ``cluster`` is given, at least one positive-weight size must fit
+      the cluster.  (Individual oversized entries are fine: the paper's
+      feasibility fix-up clamps them, by design.)
+    """
+    if not gpu_mix:
+        raise WorkloadConfigError("gpu_mix must have at least one entry")
+    total = 0.0
+    feasible_sizes = []
+    for entry in gpu_mix:
+        try:
+            size, weight = entry
+        except (TypeError, ValueError):
+            raise WorkloadConfigError(
+                f"gpu_mix entries must be (gpus, weight) pairs, got {entry!r}"
+            ) from None
+        if int(size) != size or size < 1:
+            raise WorkloadConfigError(
+                f"gpu_mix sizes must be positive integers, got {size!r}"
+            )
+        if weight < 0.0:
+            raise WorkloadConfigError(
+                f"gpu_mix weights must be non-negative, got {weight!r} "
+                f"for size {size}"
+            )
+        total += weight
+        if weight > 0.0:
+            feasible_sizes.append(int(size))
+    if not feasible_sizes:
+        raise WorkloadConfigError("gpu_mix has no positive-weight entry")
+    if abs(total - 1.0) > _MIX_SUM_TOLERANCE:
+        raise WorkloadConfigError(
+            f"gpu_mix weights must sum to 1.0, got {total:g} "
+            "(normalize explicitly instead of relying on silent rescaling)"
+        )
+    if cluster is not None and min(feasible_sizes) > cluster.total_gpus:
+        raise WorkloadConfigError(
+            f"every gpu_mix size exceeds the cluster's {cluster.total_gpus} "
+            f"GPUs (smallest requested: {min(feasible_sizes)}); no job "
+            "could be sampled even after the feasibility fix-up"
+        )
+
+
+@dataclass(frozen=True)
+class JobMix:
+    """Frozen description of the job population a scenario samples.
+
+    ``model_weights`` are ``(name, weight)`` overrides on the uniform
+    catalog sampling (hashable, unlike a dict); ``large_model_factor``
+    additionally scales the large models' weights (the Fig. 11 knob).
+    Defaults reproduce the paper's trace statistics exactly.
+    """
+
+    gpu_mix: tuple[tuple[int, float], ...] = DEFAULT_GPU_MIX
+    duration_median: float = 35 * MINUTE
+    duration_sigma: float = 1.2
+    min_duration: float = 3 * MINUTE
+    max_duration: float = 8 * HOUR
+    model_weights: tuple[tuple[str, float], ...] = ()
+    large_model_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "gpu_mix", tuple((int(g), float(w)) for g, w in self.gpu_mix)
+        )
+        object.__setattr__(
+            self,
+            "model_weights",
+            tuple((str(n), float(w)) for n, w in self.model_weights),
+        )
+        validate_gpu_mix(self.gpu_mix)
+        if self.duration_median <= 0.0 or self.duration_sigma < 0.0:
+            raise WorkloadConfigError(
+                "duration_median must be positive and duration_sigma >= 0"
+            )
+        if not 0.0 < self.min_duration <= self.max_duration:
+            raise WorkloadConfigError(
+                f"need 0 < min_duration <= max_duration, got "
+                f"[{self.min_duration}, {self.max_duration}]"
+            )
+        if self.large_model_factor < 0.0:
+            raise WorkloadConfigError(
+                f"large_model_factor must be >= 0, got "
+                f"{self.large_model_factor}"
+            )
+        for name, weight in self.model_weights:
+            if name not in CATALOG:
+                known = ", ".join(sorted(CATALOG))
+                raise WorkloadConfigError(
+                    f"unknown model {name!r} in model_weights; known: {known}"
+                )
+            if weight < 0.0:
+                raise WorkloadConfigError(
+                    f"model weight for {name!r} must be >= 0, got {weight}"
+                )
+
+    def weights_dict(self) -> dict[str, float]:
+        """The generator's ``model_weights`` field for this mix.
+
+        Empty (meaning "uniform") when nothing deviates from the default, so
+        the default scenario's ``WorkloadConfig`` is field-for-field the
+        pre-subsystem one.
+        """
+        if not self.model_weights and self.large_model_factor == 1.0:
+            return {}
+        # Per-model overrides first, then the large-model factor scales on
+        # top (so a mix can both reweight a model and sweep the factor).
+        weights = scaled_large_model_weights(1.0)
+        weights.update(dict(self.model_weights))
+        for name in LARGE_MODEL_NAMES:
+            weights[name] *= self.large_model_factor
+        return weights

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster import PAPER_CLUSTER, ClusterSpec, NodeSpec
-from repro.models import GPT2, LLAMA2_7B, ROBERTA, get_model
+from repro.models import GPT2, LLAMA2_7B, ROBERTA
 from repro.oracle import SyntheticTestbed, build_perf_model
 from repro.scheduler import PerfModelStore
 

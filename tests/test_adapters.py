@@ -1,0 +1,191 @@
+"""External-trace adapters: Philly CSV / Helios JSONL ingestion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.errors import TraceAdapterError
+from repro.oracle import SyntheticTestbed
+from repro.perfmodel import ResourceShape
+from repro.sim.serialization import save_trace, trace_to_dict
+from repro.workloads import (
+    load_external_trace,
+    load_helios_jsonl,
+    load_philly_csv,
+)
+
+CLUSTER = ClusterSpec(num_nodes=2, node=NodeSpec(num_gpus=8))
+PHILLY = "tests/data/philly_mini.csv"
+HELIOS = "tests/data/helios_mini.jsonl"
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return SyntheticTestbed(CLUSTER, seed=0)
+
+
+class TestPhillyCsv:
+    def test_loads_completed_rows_only(self, testbed):
+        trace = load_philly_csv(PHILLY, cluster=CLUSTER, testbed=testbed)
+        # 14 data rows, 2 filtered by status (Killed, Failed).
+        assert len(trace) == 12
+        assert trace.name == "replay-philly_mini"
+        ids = [j.job_id for j in trace]
+        assert "philly-0004" not in ids and "philly-0008" not in ids
+
+    def test_submit_times_normalized_and_sorted(self, testbed):
+        trace = load_philly_csv(PHILLY, cluster=CLUSTER, testbed=testbed)
+        submits = [j.submit_time for j in trace]
+        assert submits[0] == 0.0
+        assert submits == sorted(submits)
+
+    def test_feasibility_fixup_applied(self, testbed):
+        trace = load_philly_csv(PHILLY, cluster=CLUSTER, testbed=testbed)
+        for job in trace:
+            # The 32-GPU row must have been clamped to the 16-GPU cluster.
+            assert job.requested_gpus <= CLUSTER.total_gpus
+            shape = ResourceShape.packed(
+                job.requested_gpus, cpus=job.requested_gpus * 4
+            )
+            assert testbed.is_feasible(
+                job.model, job.initial_plan, shape, job.global_batch
+            ), job.job_id
+
+    def test_gpu_hours_preserved_across_fixup(self, testbed):
+        trace = load_philly_csv(PHILLY, cluster=CLUSTER, testbed=testbed)
+        by_id = {j.job_id: j for j in trace}
+        # Raw row: 32 GPUs x 21600 s = 192 GPU-hours.
+        clamped = by_id["philly-0010"]
+        assert clamped.requested_gpus < 32
+        assert clamped.requested_gpus * clamped.duration == pytest.approx(
+            32 * 21600
+        )
+
+    def test_deterministic_in_seed(self, testbed):
+        a = load_philly_csv(PHILLY, cluster=CLUSTER, seed=3, testbed=testbed)
+        b = load_philly_csv(PHILLY, cluster=CLUSTER, seed=3, testbed=testbed)
+        c = load_philly_csv(PHILLY, cluster=CLUSTER, seed=4, testbed=testbed)
+        assert trace_to_dict(a) == trace_to_dict(b)
+        assert trace_to_dict(a) != trace_to_dict(c)
+
+    def test_missing_file(self):
+        with pytest.raises(TraceAdapterError, match="no such trace file"):
+            load_philly_csv("nope.csv", cluster=CLUSTER)
+
+
+class TestMalformedRows:
+    def write(self, tmp_path, body: str):
+        path = tmp_path / "bad.csv"
+        path.write_text("job_id,submit_time,gpus,duration,status\n" + body)
+        return path
+
+    def test_missing_column_points_at_line(self, tmp_path, testbed):
+        path = self.write(tmp_path, "a,0,1,100,Pass\nb,5,,200,Pass\n")
+        with pytest.raises(TraceAdapterError, match=r"bad\.csv:3.*gpus"):
+            load_philly_csv(path, cluster=CLUSTER, testbed=testbed)
+
+    def test_non_numeric_and_nonpositive_rows(self, tmp_path, testbed):
+        for body, match in (
+            ("a,0,one,100,Pass\n", "non-numeric"),
+            ("a,0,1,-5,Pass\n", "duration must be positive"),
+            ("a,0,0,100,Pass\n", "gpus must be >= 1"),
+            ("a,yesterday,1,100,Pass\n", "unparsable timestamp"),
+        ):
+            with pytest.raises(TraceAdapterError, match=match):
+                load_philly_csv(
+                    self.write(tmp_path, body), cluster=CLUSTER,
+                    testbed=testbed,
+                )
+
+    def test_duplicate_job_ids_rejected(self, tmp_path, testbed):
+        path = self.write(tmp_path, "a,0,1,100,Pass\na,5,2,200,Pass\n")
+        with pytest.raises(TraceAdapterError, match="duplicate job id"):
+            load_philly_csv(path, cluster=CLUSTER, testbed=testbed)
+
+    def test_skip_mode_drops_bad_rows(self, tmp_path, testbed):
+        path = self.write(
+            tmp_path,
+            "a,0,1,100,Pass\nb,5,,200,Pass\nc,9,2,300,Pass\n",
+        )
+        trace = load_philly_csv(
+            path, cluster=CLUSTER, on_error="skip", testbed=testbed
+        )
+        assert [j.job_id for j in trace] == ["a", "c"]
+
+    def test_skip_assignment_is_row_local(self, tmp_path, testbed):
+        """Dropping a malformed row never reshuffles its neighbors."""
+        clean = self.write(tmp_path, "a,0,1,100,Pass\nc,9,2,300,Pass\n")
+        dirty = tmp_path / "dirty.csv"
+        dirty.write_text(
+            "job_id,submit_time,gpus,duration,status\n"
+            "a,0,1,100,Pass\nb,5,,200,Pass\nc,9,2,300,Pass\n"
+        )
+        a = load_philly_csv(
+            clean, cluster=CLUSTER, testbed=testbed, name="same"
+        )
+        b = load_philly_csv(
+            dirty, cluster=CLUSTER, on_error="skip", testbed=testbed,
+            name="same",
+        )
+        assert trace_to_dict(a) == trace_to_dict(b)
+
+    def test_all_rows_unusable(self, tmp_path, testbed):
+        path = self.write(tmp_path, "a,0,1,100,Killed\n")
+        with pytest.raises(TraceAdapterError, match="no usable job rows"):
+            load_philly_csv(path, cluster=CLUSTER, testbed=testbed)
+
+
+class TestHeliosJsonl:
+    def test_loads_and_normalizes_datetimes(self, testbed):
+        trace = load_helios_jsonl(HELIOS, cluster=CLUSTER, testbed=testbed)
+        assert len(trace) == 7  # 8 rows, 1 FAILED filtered
+        submits = [j.submit_time for j in trace]
+        assert submits[0] == 0.0
+        assert submits == sorted(submits)
+        # 08:00:00 -> 08:12:30 is 750 s.
+        assert submits[1] == pytest.approx(750.0)
+
+    def test_invalid_json_row(self, tmp_path, testbed):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"job_name": "a"\n')
+        with pytest.raises(TraceAdapterError, match=r"bad\.jsonl:1.*JSON"):
+            load_helios_jsonl(path, cluster=CLUSTER, testbed=testbed)
+
+    def test_non_object_row(self, tmp_path, testbed):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(TraceAdapterError, match="not an object"):
+            load_helios_jsonl(path, cluster=CLUSTER, testbed=testbed)
+
+    def test_textual_timestamps_parse_as_utc(self):
+        """Replay must not depend on the host timezone or DST rules."""
+        from repro.workloads.adapters import _parse_time
+
+        assert _parse_time("1970-01-01 00:00:00") == 0.0
+        # The US DST spring-forward hole (2020-03-08 02:00 local) must not
+        # swallow an hour: in UTC these are exactly 2 h apart.
+        gap = _parse_time("2020-03-08 03:30:00") - _parse_time(
+            "2020-03-08 01:30:00"
+        )
+        assert gap == 2 * 3600.0
+
+
+class TestDispatch:
+    def test_by_extension(self, testbed, tmp_path):
+        csv_trace = load_external_trace(
+            PHILLY, cluster=CLUSTER, testbed=testbed
+        )
+        jsonl_trace = load_external_trace(
+            HELIOS, cluster=CLUSTER, testbed=testbed
+        )
+        assert len(csv_trace) == 12 and len(jsonl_trace) == 7
+        # Native .json round-trips through save_trace untouched.
+        path = tmp_path / "native.json"
+        save_trace(csv_trace, path)
+        again = load_external_trace(path, cluster=CLUSTER)
+        assert trace_to_dict(again) == trace_to_dict(csv_trace)
+
+    def test_unknown_extension(self):
+        with pytest.raises(TraceAdapterError, match="unsupported trace"):
+            load_external_trace("trace.parquet", cluster=CLUSTER)

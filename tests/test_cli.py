@@ -101,6 +101,69 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "invalid sweep grid" in out
 
+    def test_sweep_rejects_unknown_scenario(self, tmp_path, capsys):
+        base = ["sweep", "--jobs", "4", "--out", str(tmp_path / "x")]
+        assert main(base + ["--scenarios", "nope"]) == 2
+        assert "unknown scenarios" in capsys.readouterr().out
+
+    def test_sweep_rejects_missing_replay_file_up_front(self, tmp_path, capsys):
+        base = ["sweep", "--jobs", "4", "--out", str(tmp_path / "x")]
+        assert main(base + ["--scenarios", "replay:missing.csv"]) == 2
+        assert "no such file" in capsys.readouterr().out
+
+    def test_sweep_over_scenarios_prints_grouped_table(self, tmp_path, capsys):
+        out = tmp_path / "sweep"
+        rc = main(
+            ["sweep", "--nodes", "2", "--gpus-per-node", "8",
+             "--policies", "rubick-n", "--seeds", "5", "--jobs", "3",
+             "--scenarios", "paper-12h,poisson-12h", "--out", str(out)]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "2 scenarios" in text
+        assert text.count("poisson-12h") >= 1
+        assert len(list((out / "runs").glob("*.jsonl"))) == 2
+
+
+class TestWorkloadCommand:
+    def test_list_shows_registered_scenarios(self, capsys):
+        assert main(["workload", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper-12h", "diurnal-3d", "largemodel-heavy",
+                     "multitenant-burst"):
+            assert name in out
+
+    def test_show_details_one_scenario(self, capsys):
+        assert main(["workload", "show", "bursty-mmpp"]) == 0
+        out = capsys.readouterr().out
+        assert "arrival.kind" in out and "mmpp" in out
+        assert main(["workload", "show", "nope"]) == 2
+
+    def test_generate_writes_scenario_trace(self, tmp_path, capsys):
+        out = tmp_path / "poisson.json"
+        rc = main(
+            ["workload", "generate", "poisson-12h", *SMALL,
+             "--jobs", "5", "--output", str(out)]
+        )
+        assert rc == 0
+        trace = load_trace(out)
+        assert len(trace) == 5
+        assert trace.name == "poisson-12h"
+        assert "wrote 5 jobs" in capsys.readouterr().out
+
+    def test_generate_converts_replay_fixture(self, tmp_path, capsys):
+        out = tmp_path / "replay.json"
+        rc = main(
+            ["workload", "generate", "replay:tests/data/helios_mini.jsonl",
+             *SMALL, "--output", str(out)]
+        )
+        assert rc == 0
+        assert len(load_trace(out)) == 7
+        assert main(
+            ["workload", "generate", "replay:missing.csv", *SMALL,
+             "--output", str(tmp_path / "x.json")]
+        ) == 2
+
 
 class TestProfile:
     def test_profile_prints_parameters(self, capsys):

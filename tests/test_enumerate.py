@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -10,7 +9,6 @@ from repro.cluster import PAPER_CLUSTER
 from repro.models import GPT2, LLAMA2_7B, ROBERTA, VIT
 from repro.plans import (
     DP_FAMILY_SPACE,
-    ExecutionPlan,
     PlanSpace,
     ZeroStage,
     enumerate_plans,

@@ -16,6 +16,8 @@ from repro.experiments import (
     format_sweep_table,
     run_sweep,
 )
+from repro.scheduler.job import JobPriority
+from repro.units import DAY
 
 SMALL = dict(num_jobs=4, nodes=2, gpus_per_node=8, span=1800.0)
 SPEC = SweepSpec(policies=("rubick-n", "synergy"), seeds=(0, 1), **SMALL)
@@ -85,6 +87,117 @@ class TestSpec:
         b = build_trace(RunSpec(policy="synergy", **SMALL))
         assert a is b  # same fingerprint -> memoized
         assert len(a) == SMALL["num_jobs"]
+
+
+class TestScenarioAxis:
+    """The workload-scenario axis: SHA-stable keys, expansion, build."""
+
+    def test_default_scenario_keys_unchanged_since_pre_axis(self):
+        """Pinned pre-scenario-axis run keys: old sweep dirs keep resuming."""
+        a = RunSpec(policy="rubick-n", **SMALL)
+        b = RunSpec(policy="sia", variant="mt", seed=2, load_factor=1.5)
+        assert a.run_key == "rubick-n-base-s0-f364deeb"
+        assert b.run_key == "sia-mt-s2-b7ee5d64"
+
+    def test_non_default_scenario_changes_the_key(self):
+        base = RunSpec(policy="rubick-n", **SMALL)
+        other = RunSpec(policy="rubick-n", scenario="poisson-12h", **SMALL)
+        assert other.run_key != base.run_key
+        assert other.trace_fingerprint != base.trace_fingerprint
+        assert other.trace_label == "poisson-12h"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            RunSpec(policy="rubick-n", scenario="nope", **SMALL)
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec(
+                policies=("rubick-n",),
+                scenarios=("poisson-12h", "poisson-12h"),
+            )
+
+    def test_legacy_documents_load_without_scenario(self):
+        run = RunSpec(policy="rubick-n", **SMALL)
+        legacy = run.to_dict()
+        legacy.pop("scenario")
+        assert RunSpec.from_dict(legacy) == run
+        spec_data = SweepSpec(policies=("rubick-n",), **SMALL).to_dict()
+        spec_data.pop("scenarios")
+        assert SweepSpec.from_dict(spec_data) == SweepSpec(
+            policies=("rubick-n",), **SMALL
+        )
+
+    def test_expand_iterates_scenarios_outermost(self):
+        spec = SweepSpec(
+            policies=("rubick-n", "synergy"),
+            scenarios=("paper-12h", "poisson-12h"),
+            **SMALL,
+        )
+        runs = spec.expand()
+        assert [r.scenario for r in runs] == (
+            ["paper-12h"] * 2 + ["poisson-12h"] * 2
+        )
+        assert len({r.run_key for r in runs}) == 4
+
+    def test_scenario_span_override_reaches_the_config(self):
+        run = RunSpec(policy="rubick-n", scenario="diurnal-3d", **SMALL)
+        assert run.workload_config().span == 3 * DAY
+
+    def test_replay_scenario_builds_from_fixture(self):
+        run = RunSpec(
+            policy="rubick-n",
+            scenario="replay:tests/data/philly_mini.csv",
+            **SMALL,
+        )
+        trace = build_trace(run)
+        assert len(trace) == 12  # fixture rows with status Pass
+        assert trace.name == "replay-philly_mini"
+
+    def test_scenario_tenant_split_implies_tenants(self):
+        run = RunSpec(policy="rubick-n", scenario="multitenant-burst", **SMALL)
+        tenants = default_tenants(run)
+        assert tenants is not None
+        assert tenants["tenant-a"].gpu_quota == 16
+        trace = build_trace(run)
+        assert {j.priority for j in trace} == {
+            JobPriority.GUARANTEED, JobPriority.BEST_EFFORT,
+        }
+
+    def test_mt_variant_honors_scenario_fraction_without_double_split(self):
+        """scenario split + mt variant = ONE split at the scenario's
+        fraction (not a silent re-split at the variant default)."""
+        from repro.workloads import Scenario, register_scenario
+        from repro.workloads.arrivals import PoissonArrivals
+
+        register_scenario(
+            Scenario(
+                name="all-guaranteed-test",
+                description="degenerate split: everything guaranteed",
+                arrival=PoissonArrivals(),
+                guaranteed_fraction=1.0,
+            ),
+            replace=True,
+        )
+        run = RunSpec(
+            policy="rubick-n", scenario="all-guaranteed-test", variant="mt",
+            **SMALL,
+        )
+        trace = build_trace(run)
+        # A re-split at the default 0.5 would demote ~half to best-effort.
+        assert all(j.priority is JobPriority.GUARANTEED for j in trace)
+        assert trace.name == "mt"
+
+    def test_multi_scenario_aggregation_groups_rows(self):
+        spec = SweepSpec(
+            policies=("rubick-n",),
+            scenarios=("paper-12h", "poisson-12h"),
+            **SMALL,
+        )
+        outcome = run_sweep(spec, workers=1)
+        cells = aggregate(outcome.pairs())
+        assert [c.scenario for c in cells] == ["paper-12h", "poisson-12h"]
+        text = format_sweep_table(cells)
+        assert text.splitlines()[0].startswith("scenario")
+        assert "poisson-12h" in text
 
 
 @pytest.fixture(scope="module")

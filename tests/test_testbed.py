@@ -9,7 +9,6 @@ from repro.errors import OutOfMemoryError
 from repro.models import GPT2, LLAMA2_7B, ROBERTA
 from repro.oracle import (
     SyntheticTestbed,
-    build_perf_model,
     collect_samples,
     default_profile_configs,
 )
