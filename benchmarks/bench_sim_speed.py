@@ -36,15 +36,19 @@ except ImportError:
     BENCH_SEED = 7
 
 from repro.analysis import format_table
-from repro.cluster import PAPER_CLUSTER
+from repro.cluster import PAPER_CLUSTER, resolve_dynamics
 from repro.models import all_models
 from repro.oracle import SyntheticTestbed, build_perf_model
 from repro.scheduler import PerfModelStore
 from repro.scheduler.registry import POLICIES, make_policy
 from repro.sim import Simulator, WorkloadConfig, generate_trace
+from repro.units import HOUR
 
 NUM_JOBS = 100
 REPS = 3
+#: Dynamics profile of the flaky A/B leg (the new hot path: evictions,
+#: steady-state invalidation, post-failure rounds).
+DYNAMICS_PROFILE = "flaky"
 #: CI tripwire: the dev container finishes the headline run in ~0.25 s;
 #: anything near this ceiling means the fast path regressed by an order of
 #: magnitude (or the runner is pathologically overloaded).
@@ -74,7 +78,7 @@ def _fitted_store(testbed: SyntheticTestbed) -> PerfModelStore:
     return store
 
 
-def _one_run(trace, store, policy_name: str, *, fast: bool):
+def _one_run(trace, store, policy_name: str, *, fast: bool, events=None):
     sim = Simulator(
         PAPER_CLUSTER,
         make_policy(policy_name),
@@ -84,7 +88,7 @@ def _one_run(trace, store, policy_name: str, *, fast: bool):
         fast_path=fast,
     )
     start = time.perf_counter()
-    result = sim.run(trace)
+    result = sim.run(trace, cluster_events=events)
     return time.perf_counter() - start, result
 
 
@@ -98,7 +102,7 @@ def _measure(trace, store, policy_name: str, *, fast: bool, reps: int):
     return best_wall, best_result
 
 
-def _measure_pair(trace, store, policy_name: str, *, reps: int):
+def _measure_pair(trace, store, policy_name: str, *, reps: int, events=None):
     """Warmed, interleaved fast/reference A/B (min wall per mode).
 
     One discarded warm-up per mode fills the process-level caches (plan
@@ -106,12 +110,14 @@ def _measure_pair(trace, store, policy_name: str, *, reps: int):
     so machine load skews both equally instead of whichever ran first.
     """
     for fast in (True, False):
-        _one_run(trace, store, policy_name, fast=fast)
+        _one_run(trace, store, policy_name, fast=fast, events=events)
     walls = {True: None, False: None}
     results = {True: None, False: None}
     for _ in range(reps):
         for fast in (True, False):
-            wall, result = _one_run(trace, store, policy_name, fast=fast)
+            wall, result = _one_run(
+                trace, store, policy_name, fast=fast, events=events
+            )
             if walls[fast] is None or wall < walls[fast]:
                 walls[fast], results[fast] = wall, result
     return walls[True], results[True], walls[False], results[False]
@@ -133,6 +139,20 @@ def collect() -> dict:
     # policy, the benchmark double-checks its own headline pair.
     assert fast_res.records == ref_res.records, "fast path diverged!"
     assert fast_res.makespan == ref_res.makespan
+
+    # Dynamics leg: the same trace under a flaky cluster (evictions,
+    # steady-state invalidation, post-failure rounds).  Byte-identity of
+    # fast vs reference under dynamics is the cache-audit acceptance.
+    events = resolve_dynamics(DYNAMICS_PROFILE).events(
+        seed=BENCH_SEED, span=12 * HOUR, cluster=PAPER_CLUSTER
+    )
+    dyn_fast_wall, dyn_fast_res, dyn_ref_wall, dyn_ref_res = _measure_pair(
+        trace, store, "rubick", reps=REPS, events=events
+    )
+    assert dyn_fast_res.records == dyn_ref_res.records, (
+        "fast path diverged under dynamics!"
+    )
+    assert dyn_fast_res.evictions == dyn_ref_res.evictions
 
     per_policy = {}
     for name in POLICIES:
@@ -174,6 +194,18 @@ def collect() -> dict:
             "calendar_fast_rounds": fast_res.calendar_fast_rounds,
             "calendar_exact_scans": fast_res.calendar_exact_scans,
         },
+        "dynamics": {
+            "policy": "rubick",
+            "profile": DYNAMICS_PROFILE,
+            "cluster_events": dyn_fast_res.cluster_events,
+            "evictions": dyn_fast_res.evictions,
+            "wall_seconds_fast": round(dyn_fast_wall, 4),
+            "wall_seconds_reference": round(dyn_ref_wall, 4),
+            "speedup_vs_reference": round(dyn_ref_wall / dyn_fast_wall, 2),
+            "policy_skips": dyn_fast_res.policy_skips,
+            "sim_rounds": dyn_fast_res.sim_rounds,
+            "lost_gpu_hours": round(dyn_fast_res.lost_gpu_hours, 3),
+        },
         "per_policy": per_policy,
         "pre_pr_anchor": PRE_PR_ANCHOR,
         "wall_ceiling_seconds": WALL_CEILING_SECONDS,
@@ -200,6 +232,7 @@ def render(payload: dict) -> str:
         title=f"simulator speed — {payload['config']['num_jobs']}-job trace, "
         f"seed {payload['config']['seed']}, models pre-fitted",
     )
+    dyn = payload["dynamics"]
     return (
         f"{table}\n"
         f"headline rubick: {head['wall_seconds_fast']:.3f}s fast vs "
@@ -211,7 +244,12 @@ def render(payload: dict) -> str:
         f"{head['policy_skips']} rounds short-circuited, "
         f"calendar early-out on "
         f"{head['calendar_fast_rounds']}/"
-        f"{head['calendar_fast_rounds'] + head['calendar_exact_scans']} rounds"
+        f"{head['calendar_fast_rounds'] + head['calendar_exact_scans']} rounds\n"
+        f"dynamics ({dyn['profile']}): {dyn['wall_seconds_fast']:.3f}s fast "
+        f"vs {dyn['wall_seconds_reference']:.3f}s reference "
+        f"({dyn['speedup_vs_reference']:.2f}x, byte-identical), "
+        f"{dyn['cluster_events']} events, {dyn['evictions']} evictions, "
+        f"{dyn['policy_skips']} rounds short-circuited"
     )
 
 

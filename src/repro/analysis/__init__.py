@@ -1,6 +1,7 @@
 """Reporting utilities for benches, examples and EXPERIMENTS.md."""
 
 from repro.analysis.report import (
+    NO_DATA,
     format_series,
     format_table,
     normalize_to_first,
@@ -9,6 +10,7 @@ from repro.analysis.report import (
 )
 
 __all__ = [
+    "NO_DATA",
     "format_series",
     "format_table",
     "normalize_to_first",

@@ -7,6 +7,7 @@ columns, simple sparkline-style series for figures).
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable, Sequence
 
 
@@ -40,8 +41,15 @@ def format_table(
     return "\n".join(lines)
 
 
+#: How NaN statistics render: "no data" (e.g. the JCT of a tenant with no
+#: completed jobs), never a numeric that could read as an instant 0.0.
+NO_DATA = "—"
+
+
 def _cell(value: object) -> str:
     if isinstance(value, float):
+        if math.isnan(value):
+            return NO_DATA
         if value == 0:
             return "0"
         if abs(value) >= 100:
@@ -57,8 +65,11 @@ def span_cell(
 ) -> str:
     """A mean with its min–max spread, e.g. ``1.23 [1.10, 1.31]``.
 
-    Collapses to the bare mean when the spread is degenerate (single seed).
+    Collapses to the bare mean when the spread is degenerate (single seed)
+    and to :data:`NO_DATA` when the statistic is NaN (empty subset).
     """
+    if math.isnan(mean):
+        return NO_DATA
     if fmt.format(lo) == fmt.format(hi):
         return fmt.format(mean)
     return f"{fmt.format(mean)} [{fmt.format(lo)}, {fmt.format(hi)}]"

@@ -24,7 +24,13 @@ import argparse
 import sys
 
 from repro.analysis import format_table
-from repro.cluster import PAPER_CLUSTER, ClusterSpec, NodeSpec
+from repro.cluster import (
+    PAPER_CLUSTER,
+    ClusterSpec,
+    NodeSpec,
+    known_dynamics_names,
+    resolve_dynamics,
+)
 from repro.experiments import (
     RunSpec,
     SweepSpec,
@@ -33,7 +39,7 @@ from repro.experiments import (
     format_sweep_table,
     run_sweep,
 )
-from repro.errors import WorkloadError
+from repro.errors import ClusterDynamicsError, WorkloadError
 from repro.experiments.spec import VARIANTS
 from repro.models import get_model
 from repro.oracle import SyntheticTestbed, build_perf_model
@@ -102,6 +108,7 @@ def _run_spec(args, policy_name: str) -> RunSpec:
         gpus_per_node=args.gpus_per_node,
         trace_path=args.trace,
         scenario=getattr(args, "scenario", DEFAULT_SCENARIO),
+        dynamics=getattr(args, "dynamics", ""),
     )
 
 
@@ -123,6 +130,19 @@ def _check_scenarios(names) -> list[str]:
             continue
         if scenario.is_replay and not Path(scenario.source).exists():
             bad.append(f"{name} (no such file)")
+    return bad
+
+
+def _check_dynamics(names) -> list[str]:
+    """The unusable names in a dynamics list (empty when all resolvable)."""
+    bad = []
+    for name in names:
+        if not name:
+            continue  # empty = inherit the scenario's dynamics
+        try:
+            resolve_dynamics(name)
+        except ClusterDynamicsError as exc:
+            bad.append(f"{name} ({exc})" if name.startswith("file:") else name)
     return bad
 
 
@@ -158,7 +178,17 @@ def _print_planeval_stats(policy_name: str, policy, sim) -> None:
     )
 
 
+def _bad_dynamics(names) -> bool:
+    bad = _check_dynamics(names)
+    if bad:
+        known = ", ".join(known_dynamics_names())
+        print(f"unknown dynamics: {bad}; known: {known}, or file:<path>")
+    return bool(bad)
+
+
 def cmd_simulate(args) -> int:
+    if _bad_dynamics([args.dynamics]):
+        return 2
     execution = execute_run(_run_spec(args, args.policy))
     result, trace = execution.result, execution.trace
     summary = result.summary()
@@ -184,10 +214,15 @@ def cmd_compare(args) -> int:
     if unknown:
         print(f"unknown policies: {unknown}; known: {sorted(POLICIES)}")
         return 2
+    if _bad_dynamics([args.dynamics]):
+        return 2
     executions = [execute_run(_run_spec(args, name)) for name in names]
     results = [e.result for e in executions]
     trace = executions[0].trace
     ref = results[0]
+    # Dynamics columns appear only when cluster events actually fired, so
+    # static comparisons render exactly as before the subsystem existed.
+    dynamic = any(res.cluster_events > 0 for res in results)
     rows = [
         (
             res.policy_name,
@@ -196,13 +231,21 @@ def cmd_compare(args) -> int:
             f"{res.makespan_hours:.1f}",
             f"{res.avg_reconfig_count:.1f}",
             len(res.sla_violations()),
+            *(
+                (f"{res.lost_gpu_hours:.2f}", res.evictions)
+                if dynamic
+                else ()
+            ),
         )
         for res in results
     ]
+    headers = ["scheduler", "avg JCT h", "p99 JCT h", "makespan h",
+               "reconfigs/job", "SLA violations"]
+    if dynamic:
+        headers += ["lost GPU-h", "evictions"]
     print(
         format_table(
-            ["scheduler", "avg JCT h", "p99 JCT h", "makespan h",
-             "reconfigs/job", "SLA violations"],
+            headers,
             rows,
             title=f"{trace.name}: {len(trace)} jobs on "
             f"{cluster.total_gpus} GPUs",
@@ -235,12 +278,16 @@ def cmd_sweep(args) -> int:
         known = ", ".join(s.name for s in list_scenarios())
         print(f"unknown scenarios: {bad}; known: {known}, or replay:<path>")
         return 2
+    dynamics = _csv(args.dynamics) or ("",)
+    if _bad_dynamics(dynamics):
+        return 2
     try:
         spec = SweepSpec(
             policies=policies,
             seeds=_csv(args.seeds, int),
             variants=variants,
             scenarios=scenarios,
+            dynamics=dynamics,
             num_jobs=args.jobs,
             span=args.span_hours * 3600.0,
             nodes=args.nodes,
@@ -254,10 +301,13 @@ def cmd_sweep(args) -> int:
         # 0,0), or out-of-range run values (--loads 0).
         print(f"invalid sweep grid: {exc}")
         return 2
+    dyn_axis = (
+        f"{len(spec.dynamics)} dynamics x " if len(spec.dynamics) > 1 else ""
+    )
     print(
         f"sweep: {len(runs)} runs "
         f"({len(spec.policies)} policies x {len(spec.scenarios)} scenarios x "
-        f"{len(spec.variants)} variants x "
+        f"{dyn_axis}{len(spec.variants)} variants x "
         f"{len(spec.seeds)} seeds x {len(spec.load_factors)} loads x "
         f"{len(spec.large_model_factors)} model mixes), "
         f"workers={args.workers}, out={args.out}"
@@ -298,13 +348,19 @@ def cmd_workload_list(args) -> int:
             else f"{scenario.guaranteed_fraction:.0%} guaranteed"
         )
         rows.append((scenario.name, arrival, span, tenants,
-                     scenario.description))
+                     scenario.dynamics or "-", scenario.description))
     print(
         format_table(
-            ["scenario", "arrivals", "span", "tenants", "description"],
+            ["scenario", "arrivals", "span", "tenants", "dynamics",
+             "description"],
             rows,
             title="registered workload scenarios (plus replay:<path>)",
         )
+    )
+    print(
+        "cluster-dynamics profiles (--dynamics): "
+        + ", ".join(known_dynamics_names())
+        + ", or file:<events.json>"
     )
     return 0
 
@@ -341,6 +397,11 @@ def cmd_workload_show(args) -> int:
     if scenario.guaranteed_fraction is not None:
         rows.append(
             ("guaranteed_fraction", f"{scenario.guaranteed_fraction:g}")
+        )
+    if scenario.dynamics is not None:
+        rows.append(("dynamics", scenario.dynamics))
+        rows.append(
+            ("dynamics.profile", resolve_dynamics(scenario.dynamics).describe())
         )
     print(format_table(["field", "value"], rows,
                        title=f"scenario {scenario.name}"))
@@ -415,6 +476,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenario", default=DEFAULT_SCENARIO,
                    help="workload scenario name or replay:<path> "
                         "(see `repro workload list`)")
+    p.add_argument("--dynamics", default="",
+                   help="cluster-dynamics profile (e.g. flaky, "
+                        "scaleout-midday, file:<events.json>); default: "
+                        "the scenario's own dynamics")
     p.add_argument("--jobs", type=int, default=80)
     p.add_argument("--output", help="write the result JSON here")
     _add_stats_arg(p)
@@ -426,6 +491,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", help="trace JSON (generated if omitted)")
     p.add_argument("--scenario", default=DEFAULT_SCENARIO,
                    help="workload scenario name or replay:<path>")
+    p.add_argument("--dynamics", default="",
+                   help="cluster-dynamics profile for all policies "
+                        "(identical event stream per policy)")
     p.add_argument("--jobs", type=int, default=80)
     _add_stats_arg(p)
     p.set_defaults(func=cmd_compare)
@@ -445,6 +513,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenarios", default=DEFAULT_SCENARIO,
                    help="comma-separated workload scenarios "
                         "(see `repro workload list`; replay:<path> allowed)")
+    p.add_argument("--dynamics", default="",
+                   help="comma-separated cluster-dynamics profiles "
+                        "(e.g. none,flaky); empty entries inherit each "
+                        "scenario's dynamics")
     p.add_argument("--loads", default="1.0",
                    help="comma-separated arrival-rate factors (Fig. 10)")
     p.add_argument("--large-model-factors", default="1.0",

@@ -1,5 +1,23 @@
-"""Cluster substrate: resources, topology, placements and live state."""
+"""Cluster substrate: resources, topology, placements, live state, dynamics."""
 
+from repro.cluster.dynamics import (
+    NO_DYNAMICS,
+    NO_DYNAMICS_NAME,
+    ClusterDynamics,
+    ClusterEvent,
+    FixedDynamics,
+    NoDynamics,
+    RandomFailures,
+    ScaleSchedule,
+    dynamics_from_dict,
+    dynamics_to_dict,
+    known_dynamics_names,
+    list_dynamics,
+    load_cluster_events,
+    register_dynamics,
+    resolve_dynamics,
+    save_cluster_events,
+)
 from repro.cluster.placement import Placement
 from repro.cluster.resources import ResourceVector
 from repro.cluster.state import Cluster, Node
@@ -11,12 +29,28 @@ from repro.cluster.topology import (
 )
 
 __all__ = [
+    "NO_DYNAMICS",
+    "NO_DYNAMICS_NAME",
     "PAPER_CLUSTER",
     "Cluster",
+    "ClusterDynamics",
+    "ClusterEvent",
     "ClusterSpec",
+    "FixedDynamics",
+    "NoDynamics",
     "Node",
     "NodeSpec",
     "Placement",
+    "RandomFailures",
     "ResourceVector",
+    "ScaleSchedule",
+    "dynamics_from_dict",
+    "dynamics_to_dict",
+    "known_dynamics_names",
+    "list_dynamics",
+    "load_cluster_events",
+    "register_dynamics",
+    "resolve_dynamics",
+    "save_cluster_events",
     "single_node_cluster",
 ]

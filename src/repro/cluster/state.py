@@ -3,6 +3,14 @@
 The simulator owns one :class:`Cluster`; scheduling policies receive read
 access (free-resource queries) and the simulator applies the policies'
 placement decisions through :meth:`Cluster.apply` / :meth:`Cluster.release`.
+
+Cluster dynamics (node failure/recovery, capacity scaling) go through
+:meth:`Cluster.remove_node` / :meth:`Cluster.add_node`.  A removed node is
+marked *down* in place rather than deleted: node ids are positional indices
+into ``nodes`` throughout the scheduler layer (``FreePool``, Rubick's
+``_RoundState``), so the list only ever grows.  A down node advertises zero
+capacity — every free/used/placement query and first-fit packing loop then
+naturally excludes it without any scheduler-side special-casing.
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from dataclasses import dataclass, field
 from repro.cluster.placement import Placement
 from repro.cluster.resources import ResourceVector
 from repro.cluster.topology import ClusterSpec, NodeSpec
-from repro.errors import PlacementError
+from repro.errors import ClusterDynamicsError, PlacementError
 
 
 @dataclass
@@ -22,9 +30,14 @@ class Node:
     node_id: int
     spec: NodeSpec
     allocations: dict[str, ResourceVector] = field(default_factory=dict)
+    #: False while the node is failed/decommissioned.  Down nodes advertise
+    #: zero capacity, so free-resource queries and packing skip them.
+    up: bool = True
 
     @property
     def capacity(self) -> ResourceVector:
+        if not self.up:
+            return ResourceVector.zero()
         return ResourceVector(
             gpus=self.spec.num_gpus,
             cpus=self.spec.num_cpus,
@@ -87,11 +100,21 @@ class Cluster:
     # Queries
     # ------------------------------------------------------------------
     @property
+    def num_up_nodes(self) -> int:
+        return sum(1 for node in self.nodes if node.up)
+
+    @property
     def total(self) -> ResourceVector:
+        """Live capacity: up nodes only (the cluster is homogeneous).
+
+        Computed as ``num_up × node shape`` rather than a per-node float
+        sum so an all-up cluster matches the spec-derived totals exactly.
+        """
+        up = self.num_up_nodes
         return ResourceVector(
-            gpus=self.spec.total_gpus,
-            cpus=self.spec.total_cpus,
-            host_mem=self.spec.total_host_mem,
+            gpus=up * self.spec.node.num_gpus,
+            cpus=up * self.spec.node.num_cpus,
+            host_mem=up * self.spec.node.host_mem,
         )
 
     @property
@@ -127,14 +150,65 @@ class Cluster:
         return ids
 
     def gpu_utilization(self) -> float:
-        """Fraction of cluster GPUs currently allocated."""
-        total = self.spec.total_gpus
+        """Fraction of *live* cluster GPUs currently allocated."""
+        total = self.total.gpus
         used = total - self.free.gpus
         return used / total if total else 0.0
 
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
+    def remove_node(self, node_id: int) -> list[str]:
+        """Take a node down (failure/decommission), evicting its jobs.
+
+        Every job with a share on the node loses its *entire* placement —
+        a distributed job cannot keep running with a missing gang member —
+        and the node is marked down in place (ids stay positional).
+        Returns the evicted job ids in deterministic (sorted) order; the
+        simulator re-queues them through its ``_requeue`` path.
+        """
+        try:
+            node = self.nodes[node_id]
+        except IndexError:
+            raise ClusterDynamicsError(
+                f"cannot remove node {node_id}: cluster has "
+                f"{len(self.nodes)} nodes"
+            ) from None
+        if not node.up:
+            raise ClusterDynamicsError(
+                f"cannot remove node {node_id}: already down"
+            )
+        victims = sorted(node.allocations)
+        for job_id in victims:
+            self.release(job_id)
+        node.up = False
+        return victims
+
+    def add_node(self, node_id: int | None = None) -> int:
+        """Bring a node up: recover a down node, or commission a new one.
+
+        With ``node_id`` the (down) node recovers under its old id; with
+        ``None`` a fresh node of the cluster's homogeneous shape is
+        appended (capacity scale-up) and its new id returned.
+        """
+        if node_id is None:
+            node = Node(node_id=len(self.nodes), spec=self.spec.node)
+            self.nodes.append(node)
+            return node.node_id
+        try:
+            node = self.nodes[node_id]
+        except IndexError:
+            raise ClusterDynamicsError(
+                f"cannot recover node {node_id}: cluster has "
+                f"{len(self.nodes)} nodes"
+            ) from None
+        if node.up:
+            raise ClusterDynamicsError(
+                f"cannot recover node {node_id}: already up"
+            )
+        node.up = True
+        return node_id
+
     def apply(self, job_id: str, placement: Placement) -> None:
         """Set a job's allocation to exactly ``placement`` (atomic)."""
         previous = self.placement_of(job_id)

@@ -63,3 +63,12 @@ class TraceAdapterError(WorkloadError):
 
 class SimulationError(ReproError):
     """The discrete-time simulator reached an inconsistent state."""
+
+
+class ClusterDynamicsError(ReproError):
+    """A cluster-dynamics profile or event stream is invalid.
+
+    Examples: an unknown dynamics profile name, a ``fail`` event without a
+    node id, a ``recover`` event for a node that was never part of the
+    cluster, or a malformed ``file:<path>`` event document.
+    """

@@ -36,6 +36,10 @@ class SeedStats:
         )
 
 
+#: Neutral default for cells without dynamics statistics.
+_ZERO_STATS = SeedStats(0.0, 0.0, 0.0)
+
+
 @dataclass(frozen=True)
 class CellStats:
     """Seed-aggregated metrics of one (policy, trace) cell."""
@@ -49,6 +53,14 @@ class CellStats:
     sla_violations: SeedStats
     reconfig_gpu_frac: SeedStats
     scenario: str = DEFAULT_SCENARIO
+    #: Cluster-dynamics statistics (all zero on static cells).  ``dynamic``
+    #: marks that at least one seed actually applied cluster events — the
+    #: sweep table only grows its dynamics columns then, so static sweeps
+    #: render exactly as before the subsystem existed.
+    dynamic: bool = False
+    evictions: SeedStats = _ZERO_STATS
+    goodput_gpu_h: SeedStats = _ZERO_STATS
+    lost_gpu_h: SeedStats = _ZERO_STATS
 
 
 def aggregate(
@@ -77,6 +89,16 @@ def aggregate(
                     [r.reconfig_gpu_hour_fraction for r in results]
                 ),
                 scenario=runs[0].scenario,
+                dynamic=any(r.cluster_events > 0 for r in results),
+                evictions=SeedStats.of(
+                    [float(r.evictions) for r in results]
+                ),
+                goodput_gpu_h=SeedStats.of(
+                    [r.goodput_gpu_hours for r in results]
+                ),
+                lost_gpu_h=SeedStats.of(
+                    [r.lost_gpu_hours for r in results]
+                ),
             )
         )
     return cells
@@ -97,10 +119,13 @@ def format_sweep_table(
 
     Multi-scenario sweeps get a leading ``scenario`` column and a rule
     between scenario groups; single-scenario sweeps render exactly as
-    before the scenario axis existed.
+    before the scenario axis existed.  Sweeps with at least one dynamic
+    cell (cluster events applied) grow goodput/lost/eviction columns;
+    fully static sweeps keep the classic shape byte for byte.
     """
     scenarios = {cell.scenario for cell in cells}
     grouped = len(scenarios) > 1
+    dynamic = any(cell.dynamic for cell in cells)
     rows = []
     rules = set()
     previous = None
@@ -131,9 +156,21 @@ def format_sweep_table(
                       100 * cell.reconfig_gpu_frac.lo,
                       100 * cell.reconfig_gpu_frac.hi),
         )
+        if dynamic:
+            row = (
+                *row,
+                span_cell(cell.goodput_gpu_h.mean, cell.goodput_gpu_h.lo,
+                          cell.goodput_gpu_h.hi, fmt="{:.1f}"),
+                span_cell(cell.lost_gpu_h.mean, cell.lost_gpu_h.lo,
+                          cell.lost_gpu_h.hi),
+                span_cell(cell.evictions.mean, cell.evictions.lo,
+                          cell.evictions.hi, fmt="{:.0f}"),
+            )
         rows.append((cell.scenario, *row) if grouped else row)
     headers = ["trace", "scheduler", "seeds", "avg JCT h", "p99 JCT h",
                "makespan h", "SLA viol", "reconfig GPU %"]
+    if dynamic:
+        headers = [*headers, "goodput GPU-h", "lost GPU-h", "evictions"]
     if grouped:
         headers = ["scenario", *headers]
     table = format_table(headers, rows, title=title, rule_before=rules)

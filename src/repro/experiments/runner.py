@@ -19,6 +19,7 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field, replace
 
+from repro.cluster.dynamics import resolve_dynamics
 from repro.experiments.spec import RunSpec, SweepSpec
 from repro.experiments.store import RunStore
 from repro.oracle.testbed import SyntheticTestbed
@@ -42,8 +43,16 @@ _TRACE_CACHE: dict[str, Trace] = {}
 
 
 def _base_run(run: RunSpec) -> RunSpec:
-    """The unscaled run whose trace this run derives from."""
-    return run if run.load_factor == 1.0 else replace(run, load_factor=1.0)
+    """The unscaled run whose trace this run derives from.
+
+    ``dynamics`` is normalized away like ``load_factor``: traces are
+    byte-identical across dynamics profiles by design (events never touch
+    the generator), so a ``--dynamics none,flaky`` sweep shares one trace
+    construction per (scenario, variant, seed) group.
+    """
+    if run.load_factor == 1.0 and not run.dynamics:
+        return run
+    return replace(run, load_factor=1.0, dynamics="")
 
 
 def _trace_memo_key(run: RunSpec) -> str:
@@ -107,6 +116,21 @@ def build_trace(run: RunSpec) -> Trace:
     return trace
 
 
+def run_cluster_events(run: RunSpec):
+    """Expand a run's effective dynamics profile into its event stream.
+
+    The stream is a pure function of (profile, seed, window, cluster) —
+    *not* of the realized trace — so every policy in a sweep cell faces
+    the identical failure history.  The window is the scenario's span
+    override when it has one (``diurnal-3d`` is three days regardless of
+    the sweep default), else the run's span.
+    """
+    dynamics = resolve_dynamics(run.effective_dynamics)
+    scenario = resolve_scenario(run.scenario)
+    span = scenario.span if scenario.span is not None else run.span
+    return dynamics.events(seed=run.seed, span=span, cluster=run.cluster)
+
+
 def default_tenants(run: RunSpec) -> dict[str, Tenant] | None:
     """Tenant setup implied by the trace variant or scenario split.
 
@@ -147,7 +171,11 @@ def execute_run(run: RunSpec) -> RunExecution:
         testbed=SyntheticTestbed(cluster, seed=run.seed),
         seed=run.seed,
     )
-    result = sim.run(trace, tenants=default_tenants(run))
+    result = sim.run(
+        trace,
+        tenants=default_tenants(run),
+        cluster_events=run_cluster_events(run),
+    )
     return RunExecution(
         run=run,
         result=result,

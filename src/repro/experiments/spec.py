@@ -26,8 +26,9 @@ import json
 from dataclasses import asdict, dataclass, replace
 from typing import Any
 
+from repro.cluster.dynamics import NO_DYNAMICS_NAME, resolve_dynamics
 from repro.cluster.topology import ClusterSpec, NodeSpec
-from repro.errors import WorkloadError
+from repro.errors import ClusterDynamicsError, WorkloadError
 from repro.scheduler.registry import POLICIES
 from repro.sim.workload import WorkloadConfig, with_large_model_share
 from repro.units import HOUR
@@ -72,6 +73,12 @@ class RunSpec:
     #: ``replay:<path>``.  The default is digest-transparent: pre-axis run
     #: keys are unchanged.
     scenario: str = DEFAULT_SCENARIO
+    #: Cluster-dynamics profile (``repro.cluster.dynamics``) or
+    #: ``file:<path>``.  The empty default means "inherit the scenario's
+    #: dynamics (none if it declares none)" and is digest-transparent, so
+    #: pre-axis run keys are unchanged; an explicit ``"none"`` overrides a
+    #: dynamic scenario back to a static cluster.
+    dynamics: str = ""
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -88,6 +95,11 @@ class RunSpec:
             scenario = resolve_scenario(self.scenario)
         except WorkloadError as exc:
             raise ValueError(str(exc)) from None
+        if self.dynamics:
+            try:
+                resolve_dynamics(self.dynamics)
+            except ClusterDynamicsError as exc:
+                raise ValueError(str(exc)) from None
         if (
             self.num_jobs <= 0
             and self.trace_path is None
@@ -123,11 +135,29 @@ class RunSpec:
             config = with_large_model_share(config, self.large_model_factor)
         return config
 
+    @property
+    def effective_dynamics(self) -> str:
+        """The cluster-dynamics profile this run executes under.
+
+        The empty default inherits the scenario's dynamics (``"none"``
+        when the scenario declares none); an explicit name — including
+        ``"none"`` itself — overrides the scenario.
+        """
+        if self.dynamics:
+            return self.dynamics
+        scenario = resolve_scenario(self.scenario)
+        return scenario.dynamics or NO_DYNAMICS_NAME
+
     # ------------------------------------------------------------------
     # Identity
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return asdict(self)
+        data = asdict(self)
+        if not data["dynamics"]:
+            # Sparse default: persisted pre-axis run documents stay byte-
+            # identical (`from_dict` defaults the missing field back).
+            del data["dynamics"]
+        return data
 
     @staticmethod
     def from_dict(data: dict[str, Any]) -> "RunSpec":
@@ -137,10 +167,13 @@ class RunSpec:
         payload = self.to_dict()
         if not include_policy:
             payload.pop("policy")
-        # Digest-transparent default: keys minted before the scenario axis
-        # existed stay valid (old sweep directories keep resuming).
+        # Digest-transparent defaults: keys minted before the scenario and
+        # dynamics axes existed stay valid (old sweep directories keep
+        # resuming).
         if payload.get("scenario") == DEFAULT_SCENARIO:
             payload.pop("scenario")
+        if not payload.get("dynamics"):
+            payload.pop("dynamics", None)
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode()).hexdigest()[:8]
 
@@ -186,6 +219,10 @@ class RunSpec:
             label += f"@x{self.load_factor:g}"
         if self.large_model_factor != 1.0:
             label += f" lm*{self.large_model_factor:g}"
+        if self.dynamics:
+            # Only explicit overrides are labeled; a scenario's own
+            # dynamics is already named by the scenario itself.
+            label += f" ~{self.dynamics}"
         return label
 
 
@@ -193,15 +230,19 @@ class RunSpec:
 class SweepSpec:
     """A declarative grid of runs (the unit `repro sweep` executes).
 
-    Expansion order is the documented nesting — scenario, variant, load
-    factor, large-model factor, seed, policy — and is deterministic: the
-    same spec always yields the same runs in the same order.
+    Expansion order is the documented nesting — scenario, dynamics,
+    variant, load factor, large-model factor, seed, policy — and is
+    deterministic: the same spec always yields the same runs in the same
+    order.
     """
 
     policies: tuple[str, ...]
     seeds: tuple[int, ...] = (0,)
     variants: tuple[str, ...] = ("base",)
     scenarios: tuple[str, ...] = (DEFAULT_SCENARIO,)
+    #: Cluster-dynamics axis; the empty default inherits each scenario's
+    #: own dynamics (see :attr:`RunSpec.dynamics`).
+    dynamics: tuple[str, ...] = ("",)
     num_jobs: int = 80
     span: float = 12 * HOUR
     nodes: int = 8
@@ -214,8 +255,8 @@ class SweepSpec:
     def __post_init__(self) -> None:
         # Accept lists for convenience; store canonical tuples.
         for name in (
-            "policies", "seeds", "variants", "scenarios", "load_factors",
-            "large_model_factors",
+            "policies", "seeds", "variants", "scenarios", "dynamics",
+            "load_factors", "large_model_factors",
         ):
             object.__setattr__(self, name, tuple(getattr(self, name)))
         for group, values in (
@@ -223,6 +264,7 @@ class SweepSpec:
             ("seeds", self.seeds),
             ("variants", self.variants),
             ("scenarios", self.scenarios),
+            ("dynamics", self.dynamics),
             ("load_factors", self.load_factors),
             ("large_model_factors", self.large_model_factors),
         ):
@@ -236,31 +278,36 @@ class SweepSpec:
         """The full grid as individually-addressable runs."""
         runs = []
         for scenario in self.scenarios:
-            for variant in self.variants:
-                for load in self.load_factors:
-                    for lm_factor in self.large_model_factors:
-                        for seed in self.seeds:
-                            for policy in self.policies:
-                                runs.append(
-                                    RunSpec(
-                                        policy=policy,
-                                        variant=variant,
-                                        seed=seed,
-                                        num_jobs=self.num_jobs,
-                                        span=self.span,
-                                        nodes=self.nodes,
-                                        gpus_per_node=self.gpus_per_node,
-                                        load_factor=load,
-                                        large_model_factor=lm_factor,
-                                        plan_assignment=self.plan_assignment,
-                                        trace_name=self.trace_name,
-                                        scenario=scenario,
+            for dyn in self.dynamics:
+                for variant in self.variants:
+                    for load in self.load_factors:
+                        for lm_factor in self.large_model_factors:
+                            for seed in self.seeds:
+                                for policy in self.policies:
+                                    runs.append(
+                                        RunSpec(
+                                            policy=policy,
+                                            variant=variant,
+                                            seed=seed,
+                                            num_jobs=self.num_jobs,
+                                            span=self.span,
+                                            nodes=self.nodes,
+                                            gpus_per_node=self.gpus_per_node,
+                                            load_factor=load,
+                                            large_model_factor=lm_factor,
+                                            plan_assignment=self.plan_assignment,
+                                            trace_name=self.trace_name,
+                                            scenario=scenario,
+                                            dynamics=dyn,
+                                        )
                                     )
-                                )
         return tuple(runs)
 
     def to_dict(self) -> dict[str, Any]:
         data = asdict(self)
+        if data["dynamics"] == ("",):
+            # Sparse default, mirroring RunSpec.to_dict.
+            del data["dynamics"]
         data["format_version"] = SPEC_FORMAT_VERSION
         return data
 
@@ -269,8 +316,8 @@ class SweepSpec:
         data = dict(data)
         data.pop("format_version", None)
         for name in (
-            "policies", "seeds", "variants", "scenarios", "load_factors",
-            "large_model_factors",
+            "policies", "seeds", "variants", "scenarios", "dynamics",
+            "load_factors", "large_model_factors",
         ):
             if name in data:
                 data[name] = tuple(data[name])

@@ -90,6 +90,27 @@ class Job:
     run_seconds: float = 0.0
     queue_seconds: float = 0.0
     last_queue_enter: float = 0.0
+    #: Cluster-dynamics accounting (node failures / decommissions).  An
+    #: eviction rolls ``samples_done`` back to the last checkpoint; the
+    #: GPU-seconds that produced the destroyed progress accrue here, plus
+    #: the held GPU-seconds of restart-penalty pause tails.
+    restart_count: int = 0
+    lost_gpu_seconds: float = 0.0
+    #: Extra pause charged (once, on top of the reconfiguration delta) the
+    #: next time this evicted job restarts — checkpoint refetch and
+    #: re-scheduling cost a failure pays that a planned reconfig does not.
+    pending_restart_penalty: float = 0.0
+    #: Instant the current pause switches from checkpoint-resume (charged
+    #: to the reconfiguration metrics) to restart penalty (charged to
+    #: ``lost_gpu_seconds``).  +inf for ordinary pauses, so planned
+    #: reconfigurations account exactly as before dynamics existed.
+    penalty_pause_from: float = float("inf")
+    #: Progress as of the last checkpoint.  Checkpoints are written at
+    #: every configuration change (checkpoint-resume) and periodically
+    #: while running (the simulator's ``checkpoint_interval``); an evicted
+    #: job resumes from here.
+    samples_at_checkpoint: float = 0.0
+    run_seconds_at_checkpoint: float = 0.0
     #: The SLA baseline: ground-truth throughput of (requested resources,
     #: initial plan); filled in at submission by the simulator.
     baseline_throughput: float = 0.0

@@ -21,12 +21,27 @@ Mechanics:
 * **SLA accounting** — each guaranteed job's achieved execution throughput is
   compared against the ground-truth throughput of its requested resources +
   initial plan.
+* **Cluster dynamics** — an optional :class:`~repro.cluster.dynamics`
+  event stream (node failures/recoveries, capacity scaling) drains through
+  the same calendar.  A failure evicts every job on the node: progress
+  since the last checkpoint is destroyed (charged to ``lost_gpu_seconds``),
+  the victim re-queues through ``_requeue`` and pays the reconfiguration
+  delta plus a one-shot ``restart_penalty`` when it restarts.  A dynamics
+  round never takes the steady-state short-circuit.
 """
 
 from __future__ import annotations
 
 import time as _time
+from typing import Sequence
 
+from repro.cluster.dynamics import (
+    NODE_FAIL,
+    NODE_RECOVER,
+    SCALE_UP,
+    SCALE_DOWN,
+    ClusterEvent,
+)
 from repro.cluster.placement import Placement
 from repro.cluster.resources import ResourceVector
 from repro.cluster.state import Cluster
@@ -69,6 +84,8 @@ class Simulator:
         max_sim_time: float = 120 * 3600.0,
         online_refitter=None,
         fast_path: bool = True,
+        restart_penalty: float = 300.0,
+        checkpoint_interval: float = 1800.0,
     ):
         self.cluster_spec = cluster_spec
         self.policy = policy
@@ -89,6 +106,16 @@ class Simulator:
         #: ``tests/test_sim_fastpath.py`` asserts byte-identity), used as
         #: the baseline by ``benchmarks/bench_sim_speed.py``.
         self.fast_path = fast_path
+        #: Extra pause an *evicted* job pays on top of the reconfiguration
+        #: delta when it restarts (checkpoint refetch + re-scheduling a
+        #: failure costs more than a planned checkpoint-resume).  Only
+        #: cluster-dynamics evictions charge it; preemptions do not.
+        self.restart_penalty = restart_penalty
+        #: Periodic checkpoint cadence (run-seconds).  Checkpoints bound
+        #: the progress a node failure can destroy: an eviction rolls the
+        #: job back to its last checkpoint, and the GPU-seconds that
+        #: produced the destroyed progress are accounted as lost.
+        self.checkpoint_interval = checkpoint_interval
         #: Memoized ground-truth scorer shared between the plan engine and
         #: the per-round configuration re-scoring in :meth:`_apply`.
         self.scorer = TestbedScorer(self.testbed)
@@ -197,11 +224,15 @@ class Simulator:
         trace: Trace,
         *,
         tenants: dict[str, Tenant] | None = None,
+        cluster_events: Sequence[ClusterEvent] | None = None,
     ) -> SimulationResult:
         wall_start = _time.perf_counter()
         profiling_seconds = self._profile_models(trace)
         cluster = Cluster(self.cluster_spec)
-        calendar = EventCalendar(trace.jobs, self.tick_interval)
+        calendar = EventCalendar(
+            trace.jobs, self.tick_interval,
+            cluster_events=tuple(cluster_events or ()),
+        )
         #: Insertion order is arrival order — the iteration order the
         #: pre-PR `[j for j in jobs.values() if j.is_active]` rebuild had.
         active: dict[str, Job] = {}
@@ -252,6 +283,20 @@ class Simulator:
                 )
                 finished = True
 
+            # --- apply cluster dynamics at `now` ------------------------
+            # After completions (a job finishing exactly at a failure
+            # instant keeps its completion), before the policy: victims
+            # are already re-queued with cleared placements when the
+            # scheduler next runs — which it must, so a dynamics round is
+            # treated like an arrival by the steady-state gating below.
+            cluster_changed = False
+            for event in calendar.pop_cluster_events(now + _EPS):
+                self._apply_cluster_event(
+                    event, cluster, active, now, calendar, result
+                )
+                result.cluster_events += 1
+                cluster_changed = True
+
             # --- termination --------------------------------------------
             if not active and not calendar.has_arrivals:
                 break
@@ -264,7 +309,7 @@ class Simulator:
             # --- run the policy -----------------------------------------
             result.sim_rounds += 1
             active_list = list(active.values())
-            if steady and not arrived and not finished:
+            if steady and not arrived and not finished and not cluster_changed:
                 # Steady-state short-circuit: nothing the policy's decision
                 # depends on has changed since it last ran, so invoking it
                 # would reproduce the current allocation verbatim.
@@ -301,10 +346,12 @@ class Simulator:
                 )
 
                 # Deadlock guard: nothing running, nothing arriving, queue
-                # stuck.
+                # stuck.  Pending cluster events disarm it: a recovery or
+                # scale-up may be exactly what unblocks the queue.
                 if (
                     not any(j.is_running for j in active_list)
                     and not calendar.has_arrivals
+                    and not calendar.has_cluster_events
                 ):
                     idle_rounds += 1
                     if idle_rounds > 3:
@@ -448,18 +495,102 @@ class Simulator:
                     job.start_time = now
                     job.status = JobStatus.RUNNING
                 else:
-                    # Restart from checkpoint after preemption.
+                    # Restart from checkpoint after preemption/eviction; an
+                    # evicted job additionally pays the one-shot restart
+                    # penalty (zero outside cluster dynamics).  The penalty
+                    # tail of the pause is charged to lost GPU-seconds, not
+                    # the reconfiguration metrics — a policy that merely
+                    # suffered more evictions must not read as
+                    # reconfiguring more aggressively.
                     job.status = JobStatus.PAUSED
-                    job.pause_until = now + self.reconfig_delta
+                    job.pause_until = (
+                        now + self.reconfig_delta + job.pending_restart_penalty
+                    )
+                    job.penalty_pause_from = (
+                        now + self.reconfig_delta
+                        if job.pending_restart_penalty > 0
+                        else float("inf")
+                    )
+                    job.pending_restart_penalty = 0.0
                     job.reconfig_count += 1
             elif gpus_changed or plan_changed:
                 job.status = JobStatus.PAUSED
                 job.pause_until = now + self.reconfig_delta
+                job.penalty_pause_from = float("inf")
                 job.reconfig_count += 1
             # CPU/host-only changes keep the job running untouched.
+            if was_queued or gpus_changed or plan_changed:
+                # Configuration changes go through checkpoint-resume: the
+                # progress saved here is what a later eviction falls back to.
+                job.samples_at_checkpoint = job.samples_done
+                job.run_seconds_at_checkpoint = job.run_seconds
             if calendar is not None:
                 calendar.track(job, now)
         return changed_any
+
+    # ------------------------------------------------------------------
+    # Cluster dynamics
+    # ------------------------------------------------------------------
+    def _apply_cluster_event(
+        self,
+        event: ClusterEvent,
+        cluster: Cluster,
+        active: dict[str, Job],
+        now: float,
+        calendar: EventCalendar,
+        result: SimulationResult,
+    ) -> None:
+        """Apply one failure/recovery/scaling event and evict its victims."""
+        victims: list[str] = []
+        if event.kind == NODE_FAIL:
+            victims = cluster.remove_node(event.node_id)
+        elif event.kind == NODE_RECOVER:
+            cluster.add_node(event.node_id)
+        elif event.kind == SCALE_UP:
+            for _ in range(event.count):
+                cluster.add_node()
+        elif event.kind == SCALE_DOWN:
+            # Decommission the highest-id up nodes (deterministic choice);
+            # removing more nodes than are up drains what exists.
+            up_ids = sorted(
+                (n.node_id for n in cluster.nodes if n.up), reverse=True
+            )
+            for node_id in up_ids[: event.count]:
+                victims.extend(cluster.remove_node(node_id))
+        for job_id in victims:
+            job = active.get(job_id)
+            if job is not None:
+                self._evict(job, now, calendar, result)
+
+    def _evict(
+        self,
+        job: Job,
+        now: float,
+        calendar: EventCalendar,
+        result: SimulationResult,
+    ) -> None:
+        """Eviction: roll back to the last checkpoint and re-queue.
+
+        The cluster side has already been released by ``remove_node``.
+        Progress since the last checkpoint is destroyed — there was no
+        chance to checkpoint before the node vanished — and the held
+        GPU-seconds that produced it are charged to ``lost_gpu_seconds``
+        (progress and configuration are constant since the checkpoint, so
+        ``destroyed / throughput × held`` is exact).  The job restarts
+        later through the normal ``_apply`` path, paying the
+        reconfiguration delta plus the one-shot restart penalty.
+        """
+        held = job.placement.total.gpus
+        if job.throughput > 0:
+            destroyed = job.samples_done - job.samples_at_checkpoint
+            if destroyed > 0:
+                job.lost_gpu_seconds += held * destroyed / job.throughput
+                job.samples_done = job.samples_at_checkpoint
+        job.restart_count += 1
+        job.pending_restart_penalty = self.restart_penalty
+        result.evictions += 1
+        self._requeue(job, now)
+        calendar.invalidate(job.job_id)
 
     def _observe(self, job: Job, plan, shape, thr: float) -> None:
         """Feed one realized-throughput observation to the online refitter."""
@@ -512,10 +643,20 @@ class Simulator:
             if job.status == JobStatus.PAUSED:
                 pause_end = min(job.pause_until, t_to)
                 paused_dt = max(pause_end - t_from, 0.0)
-                job.reconfig_seconds += paused_dt
+                # The checkpoint-resume part of the pause is reconfiguration
+                # overhead; the restart-penalty tail (evictions only —
+                # `penalty_pause_from` is +inf otherwise) is dynamics waste
+                # and accrues to lost GPU-seconds instead.
+                reconfig_dt = max(
+                    min(pause_end, job.penalty_pause_from) - t_from, 0.0
+                )
+                job.reconfig_seconds += reconfig_dt
                 # Overhead accounting is in *held* GPU-seconds: Rubick's whole
                 # point is that held != requested (§7.3).
-                job.reconfig_gpu_seconds += held_gpus * paused_dt
+                job.reconfig_gpu_seconds += held_gpus * reconfig_dt
+                penalty_dt = paused_dt - reconfig_dt
+                if penalty_dt > 0.0:
+                    job.lost_gpu_seconds += held_gpus * penalty_dt
                 if t_to + _EPS >= job.pause_until:
                     job.status = JobStatus.RUNNING
                 active_dt = max(t_to - max(t_from, job.pause_until), 0.0)
@@ -524,3 +665,9 @@ class Simulator:
             if active_dt > 0 and job.throughput > 0:
                 job.samples_done += job.throughput * active_dt
                 job.run_seconds += active_dt
+                if (
+                    job.run_seconds - job.run_seconds_at_checkpoint
+                    >= self.checkpoint_interval
+                ):
+                    job.samples_at_checkpoint = job.samples_done
+                    job.run_seconds_at_checkpoint = job.run_seconds

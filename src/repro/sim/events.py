@@ -10,6 +10,13 @@ replaces both with incremental state:
   into it replaces the list-head pops (satellite fix: the drain is now O(n)
   total instead of O(n²)).
 
+* **Cluster events** — cluster-dynamics streams (node failures/recoveries,
+  capacity scaling; see ``repro.cluster.dynamics``) drain through a second
+  sorted cursor.  They are *hard* events like arrivals: the clock stops
+  exactly at each one, and a round that applied an event never takes the
+  steady-state policy short-circuit (the simulator treats it like an
+  arrival when deciding whether the policy must run).
+
 * **Predicted completions** — a lazily-invalidated min-heap of *anchored*
   completion events.  An event is pushed whenever a job starts, resumes from
   a reconfiguration pause, or changes throughput (allocation/plan changes),
@@ -60,10 +67,21 @@ class EventCalendar:
     preemption, failed launch).
     """
 
-    def __init__(self, arrivals: Sequence, tick_interval: float):
+    def __init__(
+        self,
+        arrivals: Sequence,
+        tick_interval: float,
+        cluster_events: Sequence = (),
+    ):
         self._arrivals = arrivals
         self._cursor = 0
         self.tick_interval = tick_interval
+        #: Cluster-dynamics events (failures/recoveries/scaling), drained by
+        #: a second sorted cursor.  They are hard events like arrivals: the
+        #: clock must stop exactly at each one so the simulator applies it
+        #: (and re-invokes the policy) at the right instant.
+        self._cluster_events = sorted(cluster_events, key=lambda e: e.time)
+        self._cluster_cursor = 0
         self._heap: list[tuple[float, int, str]] = []  # (time, epoch, job_id)
         self._epochs: dict[str, int] = {}
         #: Diagnostic counters, copied onto ``SimulationResult.calendar_*``
@@ -92,6 +110,23 @@ class EventCalendar:
                 break
             self._cursor += 1
             yield tj
+
+    # ------------------------------------------------------------------
+    # Cluster-dynamics events (sorted-cursor drain, like arrivals)
+    # ------------------------------------------------------------------
+    @property
+    def has_cluster_events(self) -> bool:
+        return self._cluster_cursor < len(self._cluster_events)
+
+    def pop_cluster_events(self, cutoff: float) -> Iterable:
+        """Consume and yield every cluster event with ``time <= cutoff``."""
+        events = self._cluster_events
+        while self._cluster_cursor < len(events):
+            event = events[self._cluster_cursor]
+            if event.time > cutoff:
+                break
+            self._cluster_cursor += 1
+            yield event
 
     # ------------------------------------------------------------------
     # Completion events (anchored hints, epoch-invalidated)
@@ -143,6 +178,10 @@ class EventCalendar:
             arrival = self._arrivals[self._cursor].submit_time
             if arrival < next_time:
                 next_time = arrival
+        if self.has_cluster_events:
+            event_time = self._cluster_events[self._cluster_cursor].time
+            if event_time < next_time:
+                next_time = event_time
         hint = self._earliest_hint()
         if hint is None or hint > next_time + COMPLETION_SLACK:
             # No live completion event can precede the tick/arrival: anchored

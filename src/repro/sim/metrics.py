@@ -34,18 +34,24 @@ class JobRecord:
     #: Held GPU-seconds spent in reconfiguration pauses (accumulated by the
     #: simulator from the placement actually held during each pause).
     reconfig_gpu_seconds: float = 0.0
+    #: Cluster-dynamics accounting (0 on legacy documents and static runs):
+    #: evictions this job suffered, and the held GPU-seconds whose progress
+    #: a failure destroyed (rolled back to the last checkpoint).
+    restart_count: int = 0
+    lost_gpu_seconds: float = 0.0
 
     @staticmethod
     def from_job(job: Job, gpu_seconds: float) -> "JobRecord":
         assert job.finish_time is not None
-        exec_thr = (
-            job.spec.total_samples / job.run_seconds if job.run_seconds > 0 else 0.0
-        )
-        sla = (
-            exec_thr / job.baseline_throughput
-            if job.baseline_throughput > 0
-            else 0.0
-        )
+        # A job that never ran (or whose baseline configuration has no
+        # measurable throughput) never exercised its guarantee: its SLA
+        # ratio is NaN — "not evaluated" — not 0.0, which would read as an
+        # infinitely-slow *violation* in `sla_violations`.
+        if job.run_seconds > 0 and job.baseline_throughput > 0:
+            exec_thr = job.spec.total_samples / job.run_seconds
+            sla = exec_thr / job.baseline_throughput
+        else:
+            sla = float("nan")
         return JobRecord(
             job_id=job.job_id,
             model_name=job.model.name,
@@ -63,6 +69,8 @@ class JobRecord:
             requested_gpus=job.spec.requested.gpus,
             sla_ratio=sla,
             reconfig_gpu_seconds=job.reconfig_gpu_seconds,
+            restart_count=job.restart_count,
+            lost_gpu_seconds=job.lost_gpu_seconds,
         )
 
 
@@ -90,13 +98,26 @@ class SimulationResult:
     #: (how well `COMPLETION_SLACK` is tuned).  In-memory only.
     calendar_fast_rounds: int = 0
     calendar_exact_scans: int = 0
+    #: Cluster-dynamics counters: events applied (failures, recoveries,
+    #: scaling steps) and evictions they caused.  Both 0 on static runs —
+    #: the serializer omits them then, keeping legacy documents byte-stable.
+    cluster_events: int = 0
+    evictions: int = 0
 
     # ------------------------------------------------------------------
     # JCT statistics
     # ------------------------------------------------------------------
     def _jcts(self, subset: list[JobRecord] | None = None) -> np.ndarray:
+        """JCTs of a record subset; NaN-valued when the subset is empty.
+
+        An empty subset (e.g. ``by_tenant`` of a tenant with no completions)
+        must *not* read as an instant 0.0 JCT in scenario tables — NaN
+        propagates through mean/percentile and renders as ``—``.
+        """
         records = subset if subset is not None else self.records
-        return np.array([r.jct for r in records]) if records else np.array([0.0])
+        if not records:
+            return np.array([float("nan")])
+        return np.array([r.jct for r in records])
 
     def avg_jct(self, subset: list[JobRecord] | None = None) -> float:
         return float(np.mean(self._jcts(subset)))
@@ -145,6 +166,36 @@ class SimulationResult:
     def total_gpu_hours(self) -> float:
         return sum(r.gpu_seconds for r in self.records) / HOUR
 
+    # ------------------------------------------------------------------
+    # Cluster-dynamics accounting
+    # ------------------------------------------------------------------
+    @property
+    def lost_gpu_hours(self) -> float:
+        """GPU-hours cluster dynamics wasted.  0 on static runs.
+
+        Held GPU-seconds whose progress an eviction rolled back to the
+        last checkpoint, plus held GPU-seconds spent in restart-penalty
+        pause tails (the penalty is dynamics waste, not reconfiguration
+        overhead — it never pollutes ``reconfig_gpu_hour_fraction``).
+        """
+        return sum(r.lost_gpu_seconds for r in self.records) / HOUR
+
+    @property
+    def goodput_gpu_hours(self) -> float:
+        """GPU-hours whose outcome survived: ``total − lost``.
+
+        The complement of :attr:`lost_gpu_hours`, so the two always sum to
+        :attr:`total_gpu_hours`.  Reconfiguration-pause overhead is *not*
+        subtracted here — it is tracked separately by
+        :attr:`reconfig_gpu_hour_fraction` (held-GPU pause accounting).
+        """
+        return self.total_gpu_hours - self.lost_gpu_hours
+
+    @property
+    def total_restarts(self) -> int:
+        """Evictions across completed jobs (== ``evictions`` once all finish)."""
+        return sum(r.restart_count for r in self.records)
+
     @property
     def reconfig_gpu_hour_fraction(self) -> float:
         """Fraction of GPU-hours spent in reconfiguration pauses.
@@ -178,7 +229,13 @@ class SimulationResult:
     # SLA
     # ------------------------------------------------------------------
     def sla_violations(self, threshold: float = 0.95) -> list[JobRecord]:
-        """Guaranteed jobs whose achieved performance fell below threshold×baseline."""
+        """Guaranteed jobs whose achieved performance fell below threshold×baseline.
+
+        Jobs whose guarantee was never exercised (``sla_ratio`` is NaN —
+        they never ran before the cutoff, or their baseline had no
+        measurable throughput) are not violations: ``NaN < threshold`` is
+        False, so the comparison excludes them by construction.
+        """
         return [
             r
             for r in self.by_priority(JobPriority.GUARANTEED)
@@ -186,7 +243,7 @@ class SimulationResult:
         ]
 
     def summary(self) -> dict[str, float]:
-        return {
+        out = {
             "jobs": float(len(self.records)),
             "avg_jct_h": self.avg_jct_hours(),
             "p99_jct_h": self.p99_jct_hours(),
@@ -194,3 +251,11 @@ class SimulationResult:
             "avg_reconfigs": self.avg_reconfig_count,
             "reconfig_gpu_frac": self.reconfig_gpu_hour_fraction,
         }
+        # Dynamics keys appear only on dynamic runs so static result
+        # documents stay byte-identical to pre-subsystem ones.
+        if self.cluster_events:
+            out["cluster_events"] = float(self.cluster_events)
+            out["evictions"] = float(self.evictions)
+            out["goodput_gpu_h"] = self.goodput_gpu_hours
+            out["lost_gpu_h"] = self.lost_gpu_hours
+        return out

@@ -8,6 +8,7 @@ built from.  The format is a stable, versioned, plain-JSON document.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any
 
@@ -108,7 +109,7 @@ def load_trace(path: str | Path) -> Trace:
 # Results
 # ----------------------------------------------------------------------
 def result_to_dict(result: SimulationResult) -> dict[str, Any]:
-    return {
+    doc = {
         "format_version": FORMAT_VERSION,
         "policy_name": result.policy_name,
         "trace_name": result.trace_name,
@@ -122,29 +123,50 @@ def result_to_dict(result: SimulationResult) -> dict[str, Any]:
         # deterministic function of the run spec (sweep workers are byte-
         # identical to serial execution).  Timing travels through the sweep
         # runner's in-memory perf channel and `sweep-meta.jsonl` instead.
-        "summary": result.summary(),
-        "records": [
-            {
-                "job_id": r.job_id,
-                "model_name": r.model_name,
-                "priority": r.priority.value,
-                "tenant": r.tenant,
-                "submit_time": r.submit_time,
-                "first_start": r.first_start,
-                "finish_time": r.finish_time,
-                "jct": r.jct,
-                "queue_seconds": r.queue_seconds,
-                "run_seconds": r.run_seconds,
-                "reconfig_count": r.reconfig_count,
-                "reconfig_seconds": r.reconfig_seconds,
-                "reconfig_gpu_seconds": r.reconfig_gpu_seconds,
-                "gpu_seconds": r.gpu_seconds,
-                "requested_gpus": r.requested_gpus,
-                "sla_ratio": r.sla_ratio,
-            }
-            for r in result.records
-        ],
+        # NaN statistics (empty record sets) travel as null, like records'
+        # sla_ratio: JSON has no NaN token.
+        "summary": {
+            k: None if isinstance(v, float) and math.isnan(v) else v
+            for k, v in result.summary().items()
+        },
+        "records": [_record_to_dict(r) for r in result.records],
     }
+    # Cluster-dynamics counters only appear on dynamic runs: static
+    # documents stay byte-identical to pre-subsystem output.
+    if result.cluster_events:
+        doc["cluster_events"] = result.cluster_events
+        doc["evictions"] = result.evictions
+    return doc
+
+
+def _record_to_dict(r: JobRecord) -> dict[str, Any]:
+    rec = {
+        "job_id": r.job_id,
+        "model_name": r.model_name,
+        "priority": r.priority.value,
+        "tenant": r.tenant,
+        "submit_time": r.submit_time,
+        "first_start": r.first_start,
+        "finish_time": r.finish_time,
+        "jct": r.jct,
+        "queue_seconds": r.queue_seconds,
+        "run_seconds": r.run_seconds,
+        "reconfig_count": r.reconfig_count,
+        "reconfig_seconds": r.reconfig_seconds,
+        "reconfig_gpu_seconds": r.reconfig_gpu_seconds,
+        "gpu_seconds": r.gpu_seconds,
+        "requested_gpus": r.requested_gpus,
+        # NaN marks "guarantee never evaluated" (never-ran jobs under
+        # dynamics); JSON has no NaN, so it travels as null.
+        "sla_ratio": None if math.isnan(r.sla_ratio) else r.sla_ratio,
+    }
+    # Sparse dynamics keys: only evicted jobs carry them (0 everywhere on
+    # static runs, so those record documents are unchanged byte for byte).
+    if r.restart_count:
+        rec["restart_count"] = r.restart_count
+    if r.lost_gpu_seconds:
+        rec["lost_gpu_seconds"] = r.lost_gpu_seconds
+    return rec
 
 
 def result_from_dict(data: dict[str, Any]) -> SimulationResult:
@@ -171,7 +193,13 @@ def result_from_dict(data: dict[str, Any]) -> SimulationResult:
             reconfig_gpu_seconds=float(r.get("reconfig_gpu_seconds", 0.0)),
             gpu_seconds=float(r["gpu_seconds"]),
             requested_gpus=int(r["requested_gpus"]),
-            sla_ratio=float(r["sla_ratio"]),
+            sla_ratio=(
+                float("nan") if r["sla_ratio"] is None
+                else float(r["sla_ratio"])
+            ),
+            # Cluster-dynamics fields (absent in legacy/static documents).
+            restart_count=int(r.get("restart_count", 0)),
+            lost_gpu_seconds=float(r.get("lost_gpu_seconds", 0.0)),
         )
         for r in data["records"]
     ]
@@ -185,6 +213,9 @@ def result_from_dict(data: dict[str, Any]) -> SimulationResult:
         # Perf-trajectory counters (absent in pre-fast-path documents).
         policy_skips=int(data.get("policy_skips", 0)),
         sim_rounds=int(data.get("sim_rounds", 0)),
+        # Cluster-dynamics counters (absent in legacy/static documents).
+        cluster_events=int(data.get("cluster_events", 0)),
+        evictions=int(data.get("evictions", 0)),
     )
 
 

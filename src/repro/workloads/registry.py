@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import WorkloadError
+from repro.cluster.dynamics import resolve_dynamics
+from repro.errors import ClusterDynamicsError, WorkloadError
 from repro.units import DAY
 from repro.workloads.arrivals import (
     ArrivalProcess,
@@ -62,6 +63,10 @@ class Scenario:
     num_jobs: int | None = None
     guaranteed_fraction: float | None = None
     source: str | None = None
+    #: Named cluster-dynamics profile (``repro.cluster.dynamics``) the
+    #: scenario runs under; ``None`` means a static cluster.  Runs inherit
+    #: it unless ``RunSpec.dynamics`` overrides.
+    dynamics: str | None = None
 
     def __post_init__(self) -> None:
         if (self.arrival is None) == (self.source is None):
@@ -76,6 +81,13 @@ class Scenario:
                 f"scenario {self.name!r}: guaranteed_fraction must be in "
                 f"[0, 1], got {self.guaranteed_fraction}"
             )
+        if self.dynamics is not None:
+            try:
+                resolve_dynamics(self.dynamics)
+            except ClusterDynamicsError as exc:
+                raise WorkloadError(
+                    f"scenario {self.name!r}: {exc}"
+                ) from None
 
     @property
     def is_replay(self) -> bool:
@@ -170,6 +182,7 @@ def scenario_workload_config(
         plan_assignment=plan_assignment,
         name=name,
         arrival=scenario.arrival,
+        dynamics=scenario.dynamics or "none",
     )
 
 
@@ -266,4 +279,19 @@ register_scenario(Scenario(
                 "(50% guaranteed / 50% best-effort)",
     arrival=MarkovModulatedArrivals(),
     guaranteed_fraction=0.5,
+))
+register_scenario(Scenario(
+    name="paper-12h-flaky",
+    description="the paper's 12 h shape on a flaky cluster: per-node "
+                "Poisson failures (MTBF 6 h, MTTR ~30 min) evicting and "
+                "restarting the jobs they hit",
+    arrival=UniformPeaksArrivals(),
+    dynamics="flaky",
+))
+register_scenario(Scenario(
+    name="scaleout-midday",
+    description="paper arrivals with two extra nodes commissioned at "
+                "mid-span (operator capacity scale-up)",
+    arrival=UniformPeaksArrivals(),
+    dynamics="scaleout-midday",
 ))

@@ -125,13 +125,60 @@ class TestSweep:
         assert len(list((out / "runs").glob("*.jsonl"))) == 2
 
 
+class TestDynamicsFlag:
+    def test_simulate_rejects_unknown_dynamics(self, capsys):
+        rc = main(["simulate", "--policy", "rubick-n", "--jobs", "3",
+                   "--dynamics", "nope"] + SMALL)
+        assert rc == 2
+        assert "unknown dynamics" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_dynamics(self, tmp_path, capsys):
+        base = ["sweep", "--jobs", "4", "--out", str(tmp_path / "x")]
+        assert main(base + ["--dynamics", "none,nope"]) == 2
+        assert "unknown dynamics" in capsys.readouterr().out
+
+    def test_simulate_with_scale_dynamics_reports_events(self, capsys):
+        rc = main(["simulate", "--policy", "rubick-n", "--jobs", "4",
+                   "--dynamics", "scaleout-midday"] + SMALL)
+        assert rc == 0
+        out = capsys.readouterr().out
+        # The dynamics summary keys appear once events actually fired.
+        assert "cluster_events" in out
+        assert "lost_gpu_h" in out
+
+    def test_compare_grows_dynamics_columns_only_when_dynamic(self, capsys):
+        args = ["compare", "--policies", "rubick-n,synergy", "--jobs", "4"]
+        assert main(args + SMALL) == 0
+        static = capsys.readouterr().out
+        assert "lost GPU-h" not in static
+        assert main(args + ["--dynamics", "scaleout-midday"] + SMALL) == 0
+        dynamic = capsys.readouterr().out
+        assert "lost GPU-h" in dynamic and "evictions" in dynamic
+
+    def test_sweep_over_dynamics_axis(self, tmp_path, capsys):
+        out = tmp_path / "sweep"
+        rc = main(
+            ["sweep", "--nodes", "2", "--gpus-per-node", "8",
+             "--policies", "rubick-n", "--seeds", "5", "--jobs", "3",
+             "--dynamics", "none,scaleout-midday", "--out", str(out)]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "2 dynamics" in text
+        assert "~scaleout-midday" in text
+        assert len(list((out / "runs").glob("*.jsonl"))) == 2
+
+
 class TestWorkloadCommand:
     def test_list_shows_registered_scenarios(self, capsys):
         assert main(["workload", "list"]) == 0
         out = capsys.readouterr().out
         for name in ("paper-12h", "diurnal-3d", "largemodel-heavy",
-                     "multitenant-burst"):
+                     "multitenant-burst", "paper-12h-flaky",
+                     "scaleout-midday"):
             assert name in out
+        assert "cluster-dynamics profiles" in out
+        assert "flaky" in out
 
     def test_show_details_one_scenario(self, capsys):
         assert main(["workload", "show", "bursty-mmpp"]) == 0

@@ -207,3 +207,23 @@ class TestRequeueStateConsistency:
         sim, cluster = self._sim_and_cluster(job, placement)
         sim._apply({}, [job], cluster, now=300.0)
         self._assert_clean_requeue(job, cluster, 300.0)
+
+    def test_node_failure_eviction_clears_placement(self):
+        """Cluster-dynamics eviction goes through the same clean requeue."""
+        from repro.cluster.dynamics import ClusterEvent, NODE_FAIL
+        from repro.sim.events import EventCalendar
+        from repro.sim.metrics import SimulationResult
+
+        job, placement = self._running_job()
+        sim, cluster = self._sim_and_cluster(job, placement)
+        result = SimulationResult(policy_name="p", trace_name="t")
+        sim._apply_cluster_event(
+            ClusterEvent(time=400.0, kind=NODE_FAIL, node_id=0),
+            cluster, {job.job_id: job}, 400.0,
+            EventCalendar([], 300.0), result,
+        )
+        self._assert_clean_requeue(job, cluster, 400.0)
+        assert job.restart_count == 1
+        assert job.pending_restart_penalty == sim.restart_penalty
+        assert result.evictions == 1
+        assert not cluster.nodes[0].up

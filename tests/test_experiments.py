@@ -207,6 +207,101 @@ def serial_sweep(tmp_path_factory):
     return out, outcome
 
 
+class TestDynamicsAxis:
+    """The cluster-dynamics axis: digest transparency, inheritance, expand."""
+
+    def test_empty_dynamics_is_digest_transparent(self):
+        plain = RunSpec(policy="rubick-n", **SMALL)
+        inherit = RunSpec(policy="rubick-n", dynamics="", **SMALL)
+        assert inherit.run_key == plain.run_key
+        assert "dynamics" not in plain.to_dict()
+        # Pinned pre-axis key (same as TestScenarioAxis): still stable.
+        assert plain.run_key == "rubick-n-base-s0-f364deeb"
+
+    def test_explicit_dynamics_changes_the_key(self):
+        plain = RunSpec(policy="rubick-n", **SMALL)
+        flaky = RunSpec(policy="rubick-n", dynamics="flaky", **SMALL)
+        none = RunSpec(policy="rubick-n", dynamics="none", **SMALL)
+        assert flaky.run_key != plain.run_key
+        assert none.run_key != plain.run_key  # explicit override is identity
+        assert flaky.trace_label.endswith("~flaky")
+
+    def test_effective_dynamics_inherits_the_scenario(self):
+        inherit = RunSpec(
+            policy="rubick-n", scenario="paper-12h-flaky", **SMALL
+        )
+        assert inherit.effective_dynamics == "flaky"
+        override = RunSpec(
+            policy="rubick-n", scenario="paper-12h-flaky",
+            dynamics="none", **SMALL
+        )
+        assert override.effective_dynamics == "none"
+        assert RunSpec(policy="rubick-n", **SMALL).effective_dynamics == "none"
+
+    def test_unknown_dynamics_rejected(self):
+        with pytest.raises(ValueError, match="unknown dynamics"):
+            RunSpec(policy="rubick-n", dynamics="nope", **SMALL)
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec(policies=("rubick-n",), dynamics=("flaky", "flaky"))
+
+    def test_expand_iterates_dynamics_inside_scenarios(self):
+        spec = SweepSpec(
+            policies=("rubick-n",), dynamics=("none", "flaky"), **SMALL
+        )
+        runs = spec.expand()
+        assert [r.dynamics for r in runs] == ["none", "flaky"]
+        assert len({r.run_key for r in runs}) == len(runs)
+
+    def test_legacy_documents_load_without_dynamics(self):
+        run = RunSpec(policy="rubick-n", dynamics="flaky", **SMALL)
+        data = run.to_dict()
+        assert data["dynamics"] == "flaky"
+        legacy = RunSpec(policy="rubick-n", **SMALL).to_dict()
+        assert "dynamics" not in legacy
+        assert RunSpec.from_dict(legacy).dynamics == ""
+        spec_data = SweepSpec(policies=("rubick-n",), **SMALL).to_dict()
+        assert "dynamics" not in spec_data
+        assert SweepSpec.from_dict(spec_data).dynamics == ("",)
+
+    def test_trace_memo_shared_across_dynamics(self):
+        """Traces are byte-identical across dynamics profiles, so the
+        per-process memo must not rebuild them per dynamics value."""
+        from repro.experiments.runner import _trace_memo_key
+
+        plain = RunSpec(policy="rubick-n", **SMALL)
+        flaky = RunSpec(policy="rubick-n", dynamics="flaky", **SMALL)
+        assert _trace_memo_key(plain) == _trace_memo_key(flaky)
+        assert build_trace(plain) is build_trace(flaky)  # memo hit
+
+    def test_dynamic_run_executes_with_events(self):
+        from repro.experiments.runner import execute_run, run_cluster_events
+
+        run = RunSpec(
+            policy="rubick-n", num_jobs=4, nodes=2, gpus_per_node=8,
+            span=1800.0, dynamics="scaleout-midday",
+        )
+        events = run_cluster_events(run)
+        assert [e.kind for e in events] == ["scale-up"]
+        assert events[0].time == 900.0  # half the run's span
+        execution = execute_run(run)
+        assert execution.result.cluster_events == 1
+
+    def test_dynamics_table_columns_only_when_dynamic(self):
+        runs = [
+            RunSpec(policy="rubick-n", dynamics="scaleout-midday", **SMALL),
+            RunSpec(policy="synergy", dynamics="scaleout-midday", **SMALL),
+        ]
+        outcome = run_sweep(runs)
+        cells = aggregate(outcome.pairs())
+        assert any(c.dynamic for c in cells)
+        table = format_sweep_table(cells)
+        assert "lost GPU-h" in table and "evictions" in table
+        static = format_sweep_table(aggregate(run_sweep(
+            [RunSpec(policy="rubick-n", **SMALL)]
+        ).pairs()))
+        assert "lost GPU-h" not in static
+
+
 class TestRunnerPersistence:
     def test_every_run_persisted_once(self, serial_sweep):
         out, outcome = serial_sweep
