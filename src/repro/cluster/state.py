@@ -11,6 +11,16 @@ into ``nodes`` throughout the scheduler layer (``FreePool``, Rubick's
 ``_RoundState``), so the list only ever grows.  A down node advertises zero
 capacity — every free/used/placement query and first-fit packing loop then
 naturally excludes it without any scheduler-side special-casing.
+
+Cluster-level aggregates (``free``, ``total``, ``gpu_utilization``,
+``placement_of``, ``all_job_ids``, ``release``) are served from an
+array-backed :class:`~repro.cluster.soa.ClusterIndex` mirror kept in exact
+lockstep with the object graph: every :class:`Node` mutation fires a
+listener hook the owning cluster wires at construction.  Nodes remain the
+source of truth — the mirror only changes the *cost* of the queries
+(O(num_nodes) scans become O(1)–O(job footprint)), never their results
+(integer aggregates are bit-identical; see ``soa.py`` for the float
+host-memory tolerance).
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.placement import Placement
 from repro.cluster.resources import ResourceVector
+from repro.cluster.soa import ClusterIndex, FreeGpuIndex
 from repro.cluster.topology import ClusterSpec, NodeSpec
 from repro.errors import ClusterDynamicsError, PlacementError
 
@@ -33,6 +44,11 @@ class Node:
     #: False while the node is failed/decommissioned.  Down nodes advertise
     #: zero capacity, so free-resource queries and packing skip them.
     up: bool = True
+
+    #: Mutation listener (the owning cluster's SoA mirror).  A class-level
+    #: default rather than a dataclass field: standalone nodes work without
+    #: one, and it stays out of __init__/__repr__/__eq__.
+    _listener = None
 
     @property
     def capacity(self) -> ResourceVector:
@@ -58,10 +74,21 @@ class Node:
     def free(self) -> ResourceVector:
         return (self.capacity - self.used).clamp_floor()
 
+    def _notify(
+        self,
+        job_id: str,
+        old: ResourceVector | None,
+        new: ResourceVector | None,
+    ) -> None:
+        listener = self._listener
+        if listener is not None:
+            listener.share_changed(self.node_id, job_id, old, new)
+
     def allocate(self, job_id: str, share: ResourceVector) -> None:
         """Add (or extend) a job's share on this node; raises if over capacity."""
         share.require_non_negative()
-        current = self.allocations.get(job_id, ResourceVector.zero())
+        old = self.allocations.get(job_id)
+        current = old if old is not None else ResourceVector.zero()
         proposed = current + share
         if not (self.used - current + proposed).fits_within(self.capacity):
             raise PlacementError(
@@ -69,22 +96,36 @@ class Node:
                 f"exceeds capacity (used={self.used}, cap={self.capacity})"
             )
         self.allocations[job_id] = proposed
+        self._notify(job_id, old, proposed)
 
     def set_allocation(self, job_id: str, share: ResourceVector) -> None:
         """Replace a job's share on this node (removing it if zero)."""
-        current = self.allocations.pop(job_id, ResourceVector.zero())
-        if not share.is_zero:
-            if not (self.used + share).fits_within(self.capacity):
-                self.allocations[job_id] = current  # roll back
-                raise PlacementError(
-                    f"node {self.node_id}: setting {share} for {job_id} "
-                    f"exceeds capacity"
-                )
-            self.allocations[job_id] = share
+        old = self.allocations.pop(job_id, None)
+        current = old if old is not None else ResourceVector.zero()
+        if share.is_zero:
+            if old is not None:
+                self._notify(job_id, old, None)
+            return
+        if not (self.used + share).fits_within(self.capacity):
+            self.allocations[job_id] = current  # roll back
+            if old is None:
+                # Faithful to the pre-mirror behaviour: the rollback path
+                # materialises a zero share for a previously-absent job.
+                self._notify(job_id, None, current)
+            raise PlacementError(
+                f"node {self.node_id}: setting {share} for {job_id} "
+                f"exceeds capacity"
+            )
+        self.allocations[job_id] = share
+        self._notify(job_id, old, share)
 
     def release(self, job_id: str) -> ResourceVector:
         """Remove a job from this node, returning what it held."""
-        return self.allocations.pop(job_id, ResourceVector.zero())
+        old = self.allocations.pop(job_id, None)
+        if old is None:
+            return ResourceVector.zero()
+        self._notify(job_id, old, None)
+        return old
 
 
 class Cluster:
@@ -95,13 +136,26 @@ class Cluster:
         self.nodes: list[Node] = [
             Node(node_id=i, spec=spec.node) for i in range(spec.num_nodes)
         ]
+        self._index = ClusterIndex(spec.node, spec.num_nodes)
+        for node in self.nodes:
+            node._listener = self._index
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     @property
+    def index(self) -> ClusterIndex:
+        """The array-backed mirror (read-only for callers)."""
+        return self._index
+
+    @property
+    def free_gpu_index(self) -> FreeGpuIndex:
+        """Per-node free-GPU bucket index (largest-free / first-fit queries)."""
+        return self._index.free_gpus
+
+    @property
     def num_up_nodes(self) -> int:
-        return sum(1 for node in self.nodes if node.up)
+        return self._index.up_count
 
     @property
     def total(self) -> ResourceVector:
@@ -119,40 +173,31 @@ class Cluster:
 
     @property
     def free(self) -> ResourceVector:
-        gpus = cpus = 0
-        host_mem = 0.0
-        for node in self.nodes:
-            node_free = node.free
-            gpus += node_free.gpus
-            cpus += node_free.cpus
-            host_mem += node_free.host_mem
-        return ResourceVector(gpus, cpus, host_mem)
+        gpus, cpus, host_mem = self._index.free_totals()
+        return ResourceVector(gpus, cpus, max(host_mem, 0.0))
 
     def node(self, node_id: int) -> Node:
         return self.nodes[node_id]
 
     def placement_of(self, job_id: str) -> Placement:
         """The placement a job currently holds (possibly empty)."""
-        shares = {
-            node.node_id: node.allocations[job_id]
-            for node in self.nodes
-            if job_id in node.allocations
-        }
-        return Placement(shares)
+        on_nodes = self._index.nodes_of(job_id)
+        if not on_nodes:
+            return Placement({})
+        return Placement(
+            {node_id: on_nodes[node_id] for node_id in sorted(on_nodes)}
+        )
 
     def jobs_on(self, node_id: int) -> list[str]:
         return sorted(self.nodes[node_id].allocations)
 
     def all_job_ids(self) -> set[str]:
-        ids: set[str] = set()
-        for node in self.nodes:
-            ids.update(node.allocations)
-        return ids
+        return set(self._index.jobs)
 
     def gpu_utilization(self) -> float:
         """Fraction of *live* cluster GPUs currently allocated."""
-        total = self.total.gpus
-        used = total - self.free.gpus
+        total = self.num_up_nodes * self.spec.node.num_gpus
+        used = self._index.used_gpus_total
         return used / total if total else 0.0
 
     # ------------------------------------------------------------------
@@ -182,6 +227,7 @@ class Cluster:
         for job_id in victims:
             self.release(job_id)
         node.up = False
+        self._index.node_down(node_id)
         return victims
 
     def add_node(self, node_id: int | None = None) -> int:
@@ -193,7 +239,9 @@ class Cluster:
         """
         if node_id is None:
             node = Node(node_id=len(self.nodes), spec=self.spec.node)
+            node._listener = self._index
             self.nodes.append(node)
+            self._index.append_node()
             return node.node_id
         try:
             node = self.nodes[node_id]
@@ -207,6 +255,7 @@ class Cluster:
                 f"cannot recover node {node_id}: already up"
             )
         node.up = True
+        self._index.node_up(node_id)
         return node_id
 
     def apply(self, job_id: str, placement: Placement) -> None:
@@ -225,5 +274,8 @@ class Cluster:
             raise
 
     def release(self, job_id: str) -> None:
-        for node in self.nodes:
-            node.release(job_id)
+        on_nodes = self._index.nodes_of(job_id)
+        if not on_nodes:
+            return  # common case at scale: releasing a job that holds nothing
+        for node_id in sorted(on_nodes):
+            self.nodes[node_id].release(job_id)

@@ -13,6 +13,7 @@ from repro.planeval.engine import (
     DEFAULT_CPUS_PER_GPU,
     EngineStats,
     PlanEvalEngine,
+    PlanRequest,
     default_plan_space,
 )
 from repro.planeval.scoring import (
@@ -28,6 +29,7 @@ __all__ = [
     "GpuCurve",
     "PerfStoreScorer",
     "PlanEvalEngine",
+    "PlanRequest",
     "TestbedScorer",
     "build_envelope",
     "default_plan_space",

@@ -89,6 +89,27 @@ class EngineStats:
         }
 
 
+@dataclass(frozen=True)
+class PlanRequest:
+    """One entry of a batched :meth:`PlanEvalEngine.best_of_many` call.
+
+    ``candidates=None`` asks for the model's full (memoized) enumeration —
+    the :meth:`PlanEvalEngine.best` path; an explicit tuple (or a lazy
+    callable plus ``key``) follows the restricted :meth:`~PlanEvalEngine.
+    best_of` path.  Flags mirror the corresponding single-request entry
+    points exactly, so a batched call returns bit-identical configs.
+    """
+
+    model: ModelSpec
+    global_batch: int
+    shape: ResourceShape
+    candidates: object | None = None
+    key: tuple | None = None
+    space: PlanSpace | None = None
+    check_gpu_mem: bool = False
+    check_host_mem: bool = True
+
+
 class _ModelSlab:
     """All memoized results for one model type, pinned to a backend version."""
 
@@ -356,6 +377,60 @@ class PlanEvalEngine:
         best = self._argmax(plans, scores)
         slab.best[memo_key] = best
         return best
+
+    def best_of_many(
+        self, requests: Sequence[PlanRequest]
+    ) -> list[BestConfig | None]:
+        """Resolve a whole queue's best-plan requests in one batched pass.
+
+        Policies that previously looped ``best()``/``best_of()`` per job
+        hand the full request list over instead: duplicate requests (jobs
+        sharing a model/batch/shape — the common case in a large pending
+        queue) collapse to a single memo probe, and each *distinct* cold
+        request runs exactly one fused scoring pass over its candidate set.
+        Results are positionally aligned with ``requests`` and bit-identical
+        to the equivalent sequence of single calls (same memo, same scoring
+        path, same tie-breaking argmax).
+        """
+        out: list[BestConfig | None] = []
+        resolved: dict[tuple, BestConfig | None] = {}
+        for req in requests:
+            space = (
+                req.space
+                if req.space is not None
+                else self.plan_space_fn(req.model)
+            )
+            if req.candidates is None:
+                dedup = (
+                    "best", req.model.name, req.global_batch, req.shape,
+                    space, req.check_host_mem,
+                )
+            elif req.key is not None:
+                dedup = (
+                    "of", req.model.name, req.global_batch, req.shape,
+                    req.key, req.check_gpu_mem, req.check_host_mem,
+                )
+            else:
+                dedup = None  # anonymous candidate tuples: no cheap identity
+            if dedup is not None and dedup in resolved:
+                out.append(resolved[dedup])
+                continue
+            if req.candidates is None:
+                best = self.best(
+                    req.model, req.global_batch, req.shape,
+                    space=space, check_host_mem=req.check_host_mem,
+                )
+            else:
+                best = self.best_of(
+                    req.model, req.global_batch, req.shape, req.candidates,
+                    key=req.key,
+                    check_gpu_mem=req.check_gpu_mem,
+                    check_host_mem=req.check_host_mem,
+                )
+            if dedup is not None:
+                resolved[dedup] = best
+            out.append(best)
+        return out
 
     def score_all(
         self,

@@ -15,8 +15,7 @@ from __future__ import annotations
 
 from repro.cluster.state import Cluster
 from repro.planeval import PlanEvalEngine
-from repro.plans.memory import host_mem_demand_per_node
-from repro.scheduler.baselines.common import FreePool
+from repro.scheduler.baselines.common import FreePool, HostDemandMemo
 from repro.scheduler.interfaces import (
     Allocation,
     SchedulerPolicy,
@@ -36,48 +35,54 @@ class AntManPolicy(SchedulerPolicy):
     ):
         self.cpus_per_gpu = cpus_per_gpu
         self.engine = engine
+        self._host_demand = HostDemandMemo()
 
     def schedule(
         self, jobs: list[Job], cluster: Cluster, ctx: SchedulingContext
     ) -> dict[str, Allocation]:
-        active = [j for j in jobs if j.is_active]
+        # One pass partitions the job list (order-preserving, so the FIFO
+        # sorts below tie-break exactly as the old per-filter scans did)
+        # while building the keep-allocation map and per-tenant quota usage.
+        # Running jobs keep their allocation, pending preemption below; the
+        # job's own placement is in lockstep with the cluster's (the
+        # simulator sets both or neither), so reuse it instead of
+        # reassembling an equal Placement from the node index.
         allocations: dict[str, Allocation] = {}
-
-        # Running jobs keep their allocation, pending preemption below.
-        running = [j for j in active if j.is_running]
-        for job in running:
-            placement = cluster.placement_of(job.job_id)
-            if job.plan is not None and not placement.is_empty:
-                allocations[job.job_id] = Allocation(placement, job.plan)
+        quota_used: dict[str, int] = {}
+        guar_queued: list[Job] = []
+        be_queued: list[Job] = []
+        be_run: list[Job] = []
+        for job in jobs:
+            st = job.status
+            if st is JobStatus.QUEUED:
+                if job.spec.is_guaranteed:
+                    guar_queued.append(job)
+                else:
+                    be_queued.append(job)
+            elif st is JobStatus.RUNNING or st is JobStatus.PAUSED:
+                spec = job.spec
+                placement = job.placement
+                if job.plan is not None and not placement.is_empty:
+                    allocations[spec.job_id] = Allocation(placement, job.plan)
+                if spec.is_guaranteed:
+                    quota_used[spec.tenant] = quota_used.get(
+                        spec.tenant, 0
+                    ) + placement.total.gpus
+                else:
+                    be_run.append(job)
 
         pool = FreePool(cluster, keep_job_ids=set(allocations))
 
         def host_fn(job: Job):
-            plan = job.spec.initial_plan
-            return lambda g: host_mem_demand_per_node(
-                job.model, plan, job.spec.global_batch, g
+            return self._host_demand.fn(
+                job.model, job.spec.initial_plan, job.spec.global_batch
             )
 
         # Guaranteed queued jobs, FIFO within quota (usage = requested GPUs).
-        quota_used: dict[str, int] = {}
-        for job in running:
-            if job.spec.is_guaranteed:
-                quota_used[job.spec.tenant] = quota_used.get(
-                    job.spec.tenant, 0
-                ) + cluster.placement_of(job.job_id).total.gpus
-        queued_guar = sorted(
-            (
-                j
-                for j in active
-                if j.status == JobStatus.QUEUED and j.spec.is_guaranteed
-            ),
-            key=lambda j: j.spec.submit_time,
-        )
+        queued_guar = sorted(guar_queued, key=lambda j: j.spec.submit_time)
         # Best-effort victims, most recently started first.
         be_running = sorted(
-            (j for j in running if not j.spec.is_guaranteed),
-            key=lambda j: j.start_time or 0.0,
-            reverse=True,
+            be_run, key=lambda j: j.start_time or 0.0, reverse=True
         )
         for job in queued_guar:
             need = job.spec.requested.gpus
@@ -99,14 +104,7 @@ class AntManPolicy(SchedulerPolicy):
             quota_used[tenant] = quota_used.get(tenant, 0) + need
 
         # Best-effort queued jobs use whatever is left, FIFO.
-        queued_be = sorted(
-            (
-                j
-                for j in active
-                if j.status == JobStatus.QUEUED and not j.spec.is_guaranteed
-            ),
-            key=lambda j: j.spec.submit_time,
-        )
+        queued_be = sorted(be_queued, key=lambda j: j.spec.submit_time)
         for job in queued_be:
             placement = pool.allocate_packed(
                 job.spec.requested.gpus,

@@ -3,66 +3,215 @@
 Baselines allocate whole requested GPU counts with simple packing; this
 module provides the free-resource pool and first-fit-decreasing packing they
 share.
+
+The pool is array-backed: per-node free gpus/cpus/host-mem columns seeded
+from the cluster's SoA mirror, plus a :class:`FreeGpuIndex` so the packing
+loop visits nodes most-free-first without re-sorting per request.  The
+visit order (free GPUs descending, node id ascending on ties) and every
+take/CPU/host decision are identical to the previous object-based
+implementation — the baseline goldens are byte-identical.  ``pool.nodes``
+remains available as a list of live views for callers that still want the
+per-node object interface.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import numpy as np
 
 from repro.cluster.placement import Placement
 from repro.cluster.resources import ResourceVector
+from repro.cluster.soa import FreeGpuIndex
 from repro.cluster.state import Cluster
+from repro.plans.memory import host_mem_demand_per_node
 
 
-@dataclass
+class HostDemandMemo:
+    """Cross-round memo of :func:`host_mem_demand_per_node`.
+
+    The demand is a pure function of ``(model, batch, plan, gpus-on-node)``,
+    but the packing loop re-evaluates it for every candidate node of every
+    queued job every round — at datacenter scale that is hundreds of
+    thousands of identical analytic evaluations per run.  Policies hold one
+    memo instance and hand :meth:`fn` closures to ``allocate_packed``.
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self):
+        #: ``(model name, batch, plan) -> {gpus_on_node: demand}``
+        self._cache: dict[tuple, dict[int, float]] = {}
+
+    def fn(self, model, plan, batch: int):
+        """A ``gpus_on_node -> host-mem demand`` callable for one job."""
+        key = (model.name, batch, plan)
+        per_g = self._cache.get(key)
+        if per_g is None:
+            per_g = {}
+            self._cache[key] = per_g
+
+        def demand(g: int, _per_g=per_g, _model=model, _plan=plan, _batch=batch):
+            v = _per_g.get(g)
+            if v is None:
+                v = host_mem_demand_per_node(_model, _plan, _batch, g)
+                _per_g[g] = v
+            return v
+
+        return demand
+
+
 class _NodeFree:
-    node_id: int
-    free: ResourceVector
-    host_free: float
+    """Live per-node view over the pool's arrays (back-compat interface)."""
+
+    __slots__ = ("_pool", "node_id")
+
+    def __init__(self, pool: "FreePool", node_id: int):
+        self._pool = pool
+        self.node_id = node_id
+
+    @property
+    def free(self) -> ResourceVector:
+        pool = self._pool
+        return ResourceVector(
+            gpus=int(pool._fg[self.node_id]),
+            cpus=int(pool._fc[self.node_id]),
+            host_mem=float(pool._fm0[self.node_id]),
+        )
+
+    @free.setter
+    def free(self, value: ResourceVector) -> None:
+        self._pool.set_free(self.node_id, value)
+
+    @property
+    def host_free(self) -> float:
+        return float(self._pool._fm[self.node_id])
+
+    @host_free.setter
+    def host_free(self, value: float) -> None:
+        self._pool._fm[self.node_id] = value
 
 
 class FreePool:
     """Mutable view of free per-node resources during one scheduling round."""
 
     def __init__(self, cluster: Cluster, keep_job_ids: set[str]):
-        self.nodes: list[_NodeFree] = []
-        for node in cluster.nodes:
-            used = ResourceVector.zero()
-            for job_id, share in node.allocations.items():
-                if job_id in keep_job_ids:
-                    used = used + share
-            self.nodes.append(
-                _NodeFree(
-                    node_id=node.node_id,
-                    free=(node.capacity - used).clamp_floor(),
-                    host_free=node.capacity.host_mem - used.host_mem,
-                )
-            )
+        spec = cluster.spec.node
+        index = cluster.index
+        n = len(cluster.nodes)
+        up = index.up[:n]
+        # Nodes holding a *non-kept* allocation need the reference per-node
+        # rebuild below; in the common steady-state round every allocated
+        # job is kept, so the integer columns come straight off the SoA
+        # mirror (exact — integer sums are order-insensitive) and only the
+        # float host-memory sum replays the reference's per-node loop.
+        slow_nodes: set[int] = set()
+        for job_id, on_nodes in index.jobs.items():
+            if job_id not in keep_job_ids:
+                slow_nodes.update(on_nodes)
+        # Base: every up node's capacity minus kept usage, down nodes zero
+        # (cap is zero).  Down nodes are always drained, so their used
+        # columns are zero and the where() masks them to zero free.
+        self._fg = np.where(up, np.int64(spec.num_gpus) - index.used_gpus[:n], np.int64(0))
+        self._fc = np.where(up, np.int64(spec.num_cpus) - index.used_cpus[:n], np.int64(0))
+        #: ``free.host_mem`` — frozen after init in the reference semantics
+        #: (claims/releases only move gpus/cpus through ``free``).
+        self._fm0 = np.where(up, float(spec.host_mem), 0.0)
+        #: ``host_free`` — the mutable host-memory budget.
+        self._fm = self._fm0.copy()
+        cap_mem = float(spec.host_mem)
+        nodes = cluster.nodes
+        for nid in np.flatnonzero(index.num_allocs[:n] > 0):
+            node = nodes[nid]
+            if nid in slow_nodes:
+                # Reference rebuild: sum the kept shares in the node's
+                # allocation-dict order (float addition is order-sensitive
+                # and the goldens pin this byte-for-byte).
+                used = ResourceVector.zero()
+                for job_id, share in node.allocations.items():
+                    if job_id in keep_job_ids:
+                        used = used + share
+                cap = node.capacity
+                free = (cap - used).clamp_floor()
+                self._fg[nid] = free.gpus
+                self._fc[nid] = free.cpus
+                self._fm0[nid] = free.host_mem
+                self._fm[nid] = cap.host_mem - used.host_mem
+            else:
+                # All residents kept: the int columns are already right;
+                # accumulate host_mem alone, in the same allocation-dict
+                # order (identical float-add sequence to the reference).
+                used_mem = 0.0
+                for share in node.allocations.values():
+                    used_mem += share.host_mem
+                cm = cap_mem if up[nid] else 0.0
+                self._fm0[nid] = max(cm - used_mem, 0.0)
+                self._fm[nid] = cm - used_mem
+        self._free_gpus = int(self._fg.sum())
+        self._order = FreeGpuIndex.from_array(self._fg, spec.num_gpus)
+        self._views: list[_NodeFree] | None = None
+
+    @property
+    def nodes(self) -> list[_NodeFree]:
+        if self._views is None:
+            self._views = [_NodeFree(self, nid) for nid in range(len(self._fg))]
+        return self._views
 
     @property
     def free_gpus(self) -> int:
-        return sum(n.free.gpus for n in self.nodes)
+        return self._free_gpus
+
+    def free_of(self, node_id: int) -> tuple[int, int]:
+        """(free gpus, free cpus) of one node — O(1)."""
+        return int(self._fg[node_id]), int(self._fc[node_id])
+
+    def host_free_of(self, node_id: int) -> float:
+        return float(self._fm[node_id])
+
+    def largest_free(self) -> int:
+        """Largest per-node free-GPU count (O(node_size) feasibility probe)."""
+        return self._order.largest_free()
+
+    def set_free(self, node_id: int, value: ResourceVector) -> None:
+        """Overwrite one node's free vector (the view-setter entry point)."""
+        delta = value.gpus - int(self._fg[node_id])
+        if delta:
+            self._free_gpus += delta
+            self._fg[node_id] = value.gpus
+            self._order.update(node_id, value.gpus)
+        self._fc[node_id] = value.cpus
+        self._fm0[node_id] = value.host_mem
+
+    def take_cpus(self, node_id: int, cpus: int) -> None:
+        """Consume CPUs on one node without touching its GPU column."""
+        self._fc[node_id] -= cpus
+
+    def _move(self, node_id: int, gpus: int, cpus: int, host_mem: float) -> None:
+        """Add (positive) or subtract (negative) free resources on a node."""
+        if gpus:
+            new = int(self._fg[node_id]) + gpus
+            self._fg[node_id] = new
+            self._free_gpus += gpus
+            self._order.update(node_id, new)
+        if cpus:
+            self._fc[node_id] += cpus
+        if host_mem:
+            self._fm[node_id] += host_mem
 
     def release(self, placement: Placement) -> None:
         """Return a placement's resources to the pool (preemption)."""
         for node_id, share in placement.shares.items():
-            node = self.nodes[node_id]
-            node.free = node.free + ResourceVector(share.gpus, share.cpus, 0.0)
-            node.host_free += share.host_mem
+            self._move(node_id, share.gpus, share.cpus, share.host_mem)
 
     def claim(self, placement: Placement) -> bool:
         """Reserve an exact placement if every node share fits; else no-op."""
         for node_id, share in placement.shares.items():
-            node = self.nodes[node_id]
-            want = ResourceVector(share.gpus, share.cpus, 0.0)
-            if not want.fits_within(node.free) or share.host_mem > node.host_free:
+            if (
+                share.gpus > self._fg[node_id]
+                or share.cpus > self._fc[node_id]
+                or share.host_mem > self._fm[node_id]
+            ):
                 return False
         for node_id, share in placement.shares.items():
-            node = self.nodes[node_id]
-            node.free = (
-                node.free - ResourceVector(share.gpus, share.cpus, 0.0)
-            ).clamp_floor()
-            node.host_free -= share.host_mem
+            self._move(node_id, -share.gpus, -share.cpus, -share.host_mem)
         return True
 
     def allocate_packed(
@@ -80,34 +229,36 @@ class FreePool:
         """
         if gpus <= 0:
             return None
-        order = sorted(self.nodes, key=lambda n: n.free.gpus, reverse=True)
+        if gpus > self._free_gpus:
+            # Sum of per-node takes can never exceed the total free count,
+            # so the request is infeasible without walking any node.
+            return None
         shares: dict[int, ResourceVector] = {}
         remaining = gpus
-        chosen: list[tuple[_NodeFree, ResourceVector]] = []
-        for node in order:
+        chosen: list[tuple[int, ResourceVector]] = []
+        for node_id in self._order.iter_nonempty_desc():
             if remaining <= 0:
                 break
-            take = min(remaining, node.free.gpus)
+            free_g = int(self._fg[node_id])
+            free_c = int(self._fc[node_id])
+            take = min(remaining, free_g)
             if take <= 0:
                 continue
-            cpus = min(take * cpus_per_gpu, node.free.cpus)
+            cpus = min(take * cpus_per_gpu, free_c)
             if cpus < take:  # cannot even give 1 CPU per GPU here
-                take = min(take, node.free.cpus)
+                take = min(take, free_c)
                 cpus = take
             if take <= 0:
                 continue
             host = host_mem_per_node(take) if host_mem_per_node else 0.0
-            if host > node.host_free:
+            if host > self._fm[node_id]:
                 continue
             share = ResourceVector(gpus=take, cpus=cpus, host_mem=host)
-            chosen.append((node, share))
-            shares[node.node_id] = share
+            chosen.append((node_id, share))
+            shares[node_id] = share
             remaining -= take
         if remaining > 0:
             return None
-        for node, share in chosen:
-            node.free = (
-                node.free - ResourceVector(share.gpus, share.cpus, 0.0)
-            ).clamp_floor()
-            node.host_free -= share.host_mem
+        for node_id, share in chosen:
+            self._move(node_id, -share.gpus, -share.cpus, -share.host_mem)
         return Placement(shares)

@@ -15,14 +15,13 @@ from repro.cluster.resources import ResourceVector
 from repro.cluster.state import Cluster
 from repro.perfmodel.shape import ResourceShape
 from repro.planeval import PlanEvalEngine
-from repro.plans.memory import host_mem_demand_per_node
 from repro.scheduler.interfaces import (
     Allocation,
     SchedulerPolicy,
     SchedulingContext,
 )
 from repro.scheduler.job import Job, JobStatus
-from repro.scheduler.baselines.common import FreePool
+from repro.scheduler.baselines.common import FreePool, HostDemandMemo
 from repro.scheduler.selectors import FixedPlanSelector
 from repro.scheduler.sensitivity import bootstrap_analyzer
 
@@ -39,6 +38,14 @@ class SynergyPolicy(SchedulerPolicy):
         self.cpus_per_gpu = cpus_per_gpu
         self.engine = engine
         self._selector: FixedPlanSelector | None = None
+        #: ``(model, batch, plan, shape) -> (model refit version, weight)``
+        #: cross-round memo of the CPU-sensitivity weight.  The weight is a
+        #: pure function of the key plus the fitted model, so it survives
+        #: until the model refits (version-checked on every read); at
+        #: datacenter scale most residents keep their shape between rounds
+        #: and the per-round probe batch collapses to the few changed jobs.
+        self._weight_cache: dict[tuple, tuple[int, float]] = {}
+        self._host_demand = HostDemandMemo()
 
     def _ensure(self, ctx: SchedulingContext) -> FixedPlanSelector:
         if self._selector is None:
@@ -58,7 +65,10 @@ class SynergyPolicy(SchedulerPolicy):
 
         allocations: dict[str, Allocation] = {}
         for job in running:
-            placement = cluster.placement_of(job.job_id)
+            # The job's own placement is in lockstep with the cluster's
+            # (``_apply`` sets both or neither), so reuse it instead of
+            # reassembling an equal Placement from the node index.
+            placement = job.placement
             if job.plan is not None and not placement.is_empty:
                 allocations[job.job_id] = Allocation(placement, job.plan)
 
@@ -68,8 +78,8 @@ class SynergyPolicy(SchedulerPolicy):
             placement = pool.allocate_packed(
                 job.spec.requested.gpus,
                 cpus_per_gpu=1,  # floor; the CPU tuner tops up below
-                host_mem_per_node=lambda g, j=job, p=plan: host_mem_demand_per_node(
-                    j.model, p, j.spec.global_batch, g
+                host_mem_per_node=self._host_demand.fn(
+                    job.model, plan, job.spec.global_batch
                 ),
             )
             if placement is None:
@@ -87,40 +97,103 @@ class SynergyPolicy(SchedulerPolicy):
         pool: FreePool,
         selector: FixedPlanSelector,
     ) -> None:
-        """Distribute each node's remaining CPUs by CPU-sensitivity."""
-        for node in pool.nodes:
+        """Distribute each node's remaining CPUs by CPU-sensitivity.
+
+        The residents of each node come from a single inverted pass over the
+        allocations (a job's placement names its nodes) instead of scanning
+        every node × every allocation.  A resident's weight is its normalized
+        CPU slope at its current whole-placement shape — a pure function of
+        (model, batch, plan, shape, fitted-model version) — memoized across
+        rounds and nodes in ``_weight_cache``; only misses go through a
+        batched ``selector.best_many`` probe.  The shape is still evaluated
+        per node visit (a multi-node job retuned on an earlier node brings
+        its updated shape to later ones, as the unmemoized loop did), so
+        weights and visit order match the former per-node/per-job loops
+        exactly.
+        """
+        engine = selector.engine
+        versions: dict[str, int] = {}
+        #: id(placement) -> (placement, shape) for this round.  The stored
+        #: placement is both the identity witness and a strong reference —
+        #: without it, a placement replaced by ``with_share`` below could be
+        #: collected and its id recycled by a new one, silently serving a
+        #: stale shape.
+        shape_of: dict[int, tuple] = {}
+        # node_id -> job ids placed there, in allocation-dict order (node
+        # membership never changes below: with_share only retunes CPUs).
+        residents_of: dict[int, list[str]] = {}
+        for job_id, alloc in allocations.items():
+            for node_id in alloc.placement.shares:
+                residents_of.setdefault(node_id, []).append(job_id)
+        for node_id in sorted(residents_of):
             residents = [
-                (job_id, alloc)
-                for job_id, alloc in allocations.items()
-                if node.node_id in alloc.placement.shares
+                (job_id, allocations[job_id])
+                for job_id in residents_of[node_id]
             ]
-            if not residents:
-                continue
-            # Rebuild shares at the 1-CPU/GPU floor, then hand out the rest.
-            budget = node.free.cpus
+            budget = pool.free_of(node_id)[1]
             weights: dict[str, float] = {}
+            misses: list[tuple[str, ResourceShape, tuple, int]] = []
             for job_id, alloc in residents:
                 job = jobs[job_id]
-                shape = ResourceShape.from_placement(alloc.placement)
-                slope = selector.cpu_slope_up(job, shape)
-                base = selector.best(job, shape)
-                norm = base.throughput if base and base.throughput > 0 else 1.0
-                weights[job_id] = max(slope / norm, 0.0)
-            total_weight = sum(weights.values())
+                model_name = job.model.name
+                version = versions.get(model_name)
+                if version is None:
+                    version = engine.scorer.version(job.model)
+                    versions[model_name] = version
+                cached = shape_of.get(id(alloc.placement))
+                if cached is not None and cached[0] is alloc.placement:
+                    shape = cached[1]
+                else:
+                    shape = ResourceShape.from_placement(alloc.placement)
+                    shape_of[id(alloc.placement)] = (alloc.placement, shape)
+                key = (model_name, job.spec.global_batch, alloc.plan, shape)
+                hit = self._weight_cache.get(key)
+                if hit is not None and hit[0] == version:
+                    weights[job_id] = hit[1]
+                else:
+                    misses.append((job_id, shape, key, version))
+            if misses:
+                # cpu_slope_up's two endpoints per miss: current shape and
+                # the +1-CPU probe, resolved in one batched engine pass.
+                pairs = []
+                for job_id, shape, _, _ in misses:
+                    job = jobs[job_id]
+                    pairs.append((job, shape))
+                    pairs.append((job, shape.with_cpus(shape.cpus + 1)))
+                configs = selector.best_many(pairs)
+                for i, (job_id, _, key, version) in enumerate(misses):
+                    base, more = configs[2 * i], configs[2 * i + 1]
+                    slope = (
+                        more.throughput - base.throughput
+                        if base is not None and more is not None
+                        else 0.0
+                    )
+                    norm = (
+                        base.throughput
+                        if base and base.throughput > 0
+                        else 1.0
+                    )
+                    weight = max(slope / norm, 0.0)
+                    self._weight_cache[key] = (version, weight)
+                    weights[job_id] = weight
+            # Summed in residents order (the insertion order of the weights
+            # dict before memoization existed): float addition is order-
+            # sensitive and the distribution below must stay byte-identical.
+            total_weight = sum(weights[job_id] for job_id, _ in residents)
             for job_id, alloc in residents:
-                share = alloc.placement.shares[node.node_id]
+                share = alloc.placement.shares[node_id]
                 if total_weight > 1e-12:
                     extra = int(budget * weights[job_id] / total_weight)
                 else:
                     extra = int(budget / len(residents))
-                extra = min(extra, node.free.cpus)
+                extra = min(extra, pool.free_of(node_id)[1])
                 if extra <= 0:
                     continue
                 new_share = ResourceVector(
                     share.gpus, share.cpus + extra, share.host_mem
                 )
-                node.free = (node.free - ResourceVector(cpus=extra)).clamp_floor()
+                pool.take_cpus(node_id, extra)
                 allocations[job_id] = Allocation(
-                    alloc.placement.with_share(node.node_id, new_share),
+                    alloc.placement.with_share(node_id, new_share),
                     alloc.plan,
                 )

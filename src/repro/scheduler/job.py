@@ -69,6 +69,15 @@ class Job:
 
     spec: JobSpec
     status: JobStatus = JobStatus.QUEUED
+    #: Arrival sequence number assigned by the simulator (0, 1, 2, … in
+    #: admission order).  Completion records are emitted in arrival order
+    #: within a round; the scale-mode loop detects completions from a heap
+    #: (arbitrary tie order) and re-sorts by this.
+    seq: int = 0
+    #: Scale-mode lazy-advancement anchor: the last simulation time this
+    #: job's progress/accounting was materialized to.  Unused (always 0.0)
+    #: on the default per-round advancement path.
+    anchor_time: float = 0.0
     samples_done: float = 0.0
     #: Current allocation (empty when queued/preempted).
     placement: Placement = field(default_factory=Placement.empty)

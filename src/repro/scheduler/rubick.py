@@ -36,7 +36,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cluster.placement import Placement
+from repro.cluster.soa import FreeGpuIndex
 from repro.cluster.resources import ResourceVector
 from repro.cluster.state import Cluster
 from repro.perfmodel.shape import ResourceShape
@@ -92,6 +95,11 @@ class _RoundState:
         running_ids = {j.job_id for j in jobs if j.is_running}
         self.nodes: list[_NodeState] = []
         self._totals: dict[str, list[int]] = {}  # job_id -> [gpus, cpus]
+        #: job_id -> node ids where the job holds a (speculative) share.
+        #: Lets the per-job scans (shape/placement/CPU tuning/trim/mem)
+        #: walk the job's footprint instead of every node in the cluster.
+        self._job_nodes: dict[str, set[int]] = {}
+        frees: list[int] = []
         for node in cluster.nodes:
             # Carry over GPU/CPU shares of running jobs; host memory is
             # re-reserved from scratch at commit time (AllocMem), so it is
@@ -104,23 +112,60 @@ class _RoundState:
                 shares[job_id] = ResourceVector(share.gpus, share.cpus, 0.0)
                 used_gpus += share.gpus
                 used_cpus += share.cpus
+                self._job_nodes.setdefault(job_id, set()).add(node.node_id)
                 total = self._totals.get(job_id)
                 if total is None:
                     self._totals[job_id] = [share.gpus, share.cpus]
                 else:
                     total[0] += share.gpus
                     total[1] += share.cpus
+            free = (node.capacity - ResourceVector(
+                used_gpus, used_cpus, 0.0
+            )).clamp_floor()
+            frees.append(free.gpus)
             self.nodes.append(
                 _NodeState(
                     node_id=node.node_id,
-                    free=(node.capacity - ResourceVector(
-                        used_gpus, used_cpus, 0.0
-                    )).clamp_floor(),
+                    free=free,
                     host_free=node.capacity.host_mem,
                     shares=shares,
                 )
             )
+        #: Nodes bucketed by speculative free-GPU count: iterating it
+        #: most-free-first reproduces the stable sort `_node_order` used to
+        #: pay per call.
+        self._free_index = FreeGpuIndex.from_array(
+            np.asarray(frees, dtype=np.int64), cluster.spec.node.num_gpus
+        )
         self._undo: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Index maintenance (every shares/free mutation routes through these)
+    # ------------------------------------------------------------------
+    def _set_share(
+        self, node: _NodeState, job_id: str, share: ResourceVector | None
+    ) -> None:
+        """Write one share and keep the job→nodes membership in lockstep."""
+        if share is None:
+            if node.shares.pop(job_id, None) is not None:
+                on_nodes = self._job_nodes.get(job_id)
+                if on_nodes is not None:
+                    on_nodes.discard(node.node_id)
+                    if not on_nodes:
+                        del self._job_nodes[job_id]
+        else:
+            node.shares[job_id] = share
+            self._job_nodes.setdefault(job_id, set()).add(node.node_id)
+
+    def _set_free(self, node: _NodeState, free: ResourceVector) -> None:
+        if free.gpus != node.free.gpus:
+            self._free_index.update(node.node_id, free.gpus)
+        node.free = free
+
+    def job_node_ids(self, job_id: str) -> list[int]:
+        """The job's footprint, ascending node id (matches full-scan order)."""
+        on_nodes = self._job_nodes.get(job_id)
+        return sorted(on_nodes) if on_nodes else []
 
     # ------------------------------------------------------------------
     def gpus_of(self, job_id: str) -> int:
@@ -149,8 +194,8 @@ class _RoundState:
     def shape_of(self, job_id: str, cpus_override: int | None = None) -> ResourceShape:
         gpu_shares = [
             gpus
-            for node in self.nodes
-            if (gpus := node.share_of(job_id).gpus) > 0
+            for node_id in self.job_node_ids(job_id)
+            if (gpus := self.nodes[node_id].share_of(job_id).gpus) > 0
         ]
         return ResourceShape(
             gpus=self.gpus_of(job_id),
@@ -162,9 +207,9 @@ class _RoundState:
     def placement_of(self, job_id: str) -> Placement:
         return Placement(
             {
-                node.node_id: node.share_of(job_id)
-                for node in self.nodes
-                if not node.share_of(job_id).is_zero
+                node_id: share
+                for node_id in self.job_node_ids(job_id)
+                if not (share := self.nodes[node_id].share_of(job_id)).is_zero
             }
         )
 
@@ -183,11 +228,8 @@ class _RoundState:
                 prev_share.gpus - current.gpus,
                 prev_share.cpus - current.cpus,
             )
-            if prev_share.is_zero:
-                node.shares.pop(job_id, None)
-            else:
-                node.shares[job_id] = prev_share
-            node.free = prev_free
+            self._set_share(node, job_id, None if prev_share.is_zero else prev_share)
+            self._set_free(node, prev_free)
             node.host_free = prev_host
 
     def _journal(self, node: _NodeState, job_id: str) -> None:
@@ -198,8 +240,8 @@ class _RoundState:
     def move(self, node: _NodeState, job_id: str, delta: ResourceVector) -> None:
         """Give ``delta`` from the node's free pool to ``job_id`` (journaled)."""
         self._journal(node, job_id)
-        node.shares[job_id] = node.share_of(job_id) + delta
-        node.free = (node.free - delta).clamp_floor()
+        self._set_share(node, job_id, node.share_of(job_id) + delta)
+        self._set_free(node, (node.free - delta).clamp_floor())
         self._adjust_total(job_id, delta.gpus, delta.cpus)
 
     def take(self, node: _NodeState, job_id: str, delta: ResourceVector) -> None:
@@ -207,11 +249,8 @@ class _RoundState:
         self._journal(node, job_id)
         share = node.share_of(job_id)
         new_share = (share - delta).clamp_floor()
-        if new_share.is_zero:
-            node.shares.pop(job_id, None)
-        else:
-            node.shares[job_id] = new_share
-        node.free = node.free + delta
+        self._set_share(node, job_id, None if new_share.is_zero else new_share)
+        self._set_free(node, node.free + delta)
         # The clamp may remove less than ``delta``; totals track what the
         # share actually lost.
         self._adjust_total(
@@ -223,9 +262,9 @@ class _RoundState:
             return False
         self._journal(node, job_id)
         share = node.share_of(job_id)
-        node.shares[job_id] = ResourceVector(
+        self._set_share(node, job_id, ResourceVector(
             share.gpus, share.cpus, share.host_mem + amount
-        )
+        ))
         node.host_free -= amount
         return True
 
@@ -570,11 +609,26 @@ class RubickPolicy(SchedulerPolicy):
         return best_g
 
     def _node_order(self, job: Job, state: _RoundState) -> list[_NodeState]:
-        """Visit the job's existing nodes first, then the freest nodes."""
-        mine = [n for n in state.nodes if n.share_of(job.job_id).gpus > 0]
-        mine.sort(key=lambda n: n.share_of(job.job_id).gpus, reverse=True)
-        others = [n for n in state.nodes if n.share_of(job.job_id).gpus == 0]
-        others.sort(key=lambda n: n.free.gpus, reverse=True)
+        """Visit the job's existing nodes first, then the freest nodes.
+
+        Served by the round state's indices: the job's own nodes come from
+        its footprint set, the rest from the free-GPU buckets — which yield
+        exactly the stable free-descending order the full sort produced.
+        The order is snapshotted here (acquisition mutates the buckets).
+        """
+        job_id = job.job_id
+        mine = [
+            n
+            for node_id in state.job_node_ids(job_id)
+            if (n := state.nodes[node_id]).share_of(job_id).gpus > 0
+        ]
+        mine.sort(key=lambda n: n.share_of(job_id).gpus, reverse=True)
+        mine_ids = {n.node_id for n in mine}
+        others = [
+            state.nodes[node_id]
+            for node_id in state._free_index.iter_ids_by_free_desc()
+            if node_id not in mine_ids
+        ]
         return mine + others
 
     def _acquire_gpus_on_node(
@@ -708,7 +762,8 @@ class RubickPolicy(SchedulerPolicy):
         job_id = job.job_id
         if state.gpus_of(job_id) == 0:
             return
-        for node in state.nodes:
+        for node_id in state.job_node_ids(job_id):
+            node = state.nodes[node_id]
             share = node.share_of(job_id)
             if share.gpus == 0:
                 continue
@@ -732,9 +787,9 @@ class RubickPolicy(SchedulerPolicy):
             node = next(
                 (
                     n
-                    for n in state.nodes
+                    for node_id in state.job_node_ids(job_id)
                     # Keep one free CPU per free GPU (see the top-up above).
-                    if n.share_of(job_id).gpus > 0
+                    if (n := state.nodes[node_id]).share_of(job_id).gpus > 0
                     and n.free.cpus > n.free.gpus
                 ),
                 None,
@@ -743,7 +798,8 @@ class RubickPolicy(SchedulerPolicy):
                 state.move(node, job_id, ResourceVector(cpus=1))
                 continue
             moved = False
-            for node in state.nodes:
+            for node_id in state.job_node_ids(job_id):
+                node = state.nodes[node_id]
                 if node.share_of(job_id).gpus == 0:
                     continue
                 victim = self._lowest_cpu_slope_victim(
@@ -829,7 +885,11 @@ class RubickPolicy(SchedulerPolicy):
         if excess <= 0:
             return False
         nodes = sorted(
-            (n for n in state.nodes if n.share_of(job_id).gpus > 0),
+            (
+                n
+                for node_id in state.job_node_ids(job_id)
+                if (n := state.nodes[node_id]).share_of(job_id).gpus > 0
+            ),
             key=lambda n: n.share_of(job_id).gpus,
         )
         for node in nodes:
@@ -852,7 +912,8 @@ class RubickPolicy(SchedulerPolicy):
     def _alloc_mem(self, job: Job, plan, state: _RoundState) -> bool:
         """Reserve per-node host memory per the framework estimate."""
         mark = state.mark()
-        for node in state.nodes:
+        for node_id in state.job_node_ids(job.job_id):
+            node = state.nodes[node_id]
             share = node.share_of(job.job_id)
             if share.gpus <= 0:
                 continue

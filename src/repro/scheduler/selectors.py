@@ -25,7 +25,7 @@ from __future__ import annotations
 import abc
 
 from repro.perfmodel.shape import ResourceShape
-from repro.planeval import BestConfig, GpuCurve
+from repro.planeval import BestConfig, GpuCurve, PlanRequest
 from repro.plans.plan import ExecutionPlan
 from repro.scheduler.job import Job
 from repro.scheduler.sensitivity import SensitivityAnalyzer
@@ -51,6 +51,20 @@ class PlanSelector(abc.ABC):
     @abc.abstractmethod
     def best(self, job: Job, shape: ResourceShape) -> BestConfig | None:
         """Best permitted plan for the job on an exact shape (or None)."""
+
+    def best_many(
+        self, pairs: list[tuple[Job, ResourceShape]]
+    ) -> list[BestConfig | None]:
+        """Batch form of :meth:`best` over many (job, shape) pairs.
+
+        Results align positionally with ``pairs`` and are bit-identical to
+        per-pair :meth:`best` calls.  The base implementation simply loops;
+        selectors whose ``best`` is a pure engine request override it to
+        route the whole batch through
+        :meth:`~repro.planeval.PlanEvalEngine.best_of_many` so duplicate
+        (model, batch, shape) entries collapse to one evaluation.
+        """
+        return [self.best(job, shape) for job, shape in pairs]
 
     @abc.abstractmethod
     def _build_curve(self, job: Job) -> GpuCurve:
@@ -210,6 +224,40 @@ class FixedPlanSelector(PlanSelector):
             (plan,),
             key=("fixed", plan),
         )
+
+    def best_many(
+        self, pairs: list[tuple[Job, ResourceShape]]
+    ) -> list[BestConfig | None]:
+        """One batched engine call for the whole pending queue.
+
+        Pairs whose shape cannot host the submitted plan short-circuit to
+        ``None`` exactly as :meth:`best` does; the rest become
+        :class:`~repro.planeval.PlanRequest` entries resolved in one
+        :meth:`~repro.planeval.PlanEvalEngine.best_of_many` pass.
+        """
+        out: list[BestConfig | None] = [None] * len(pairs)
+        requests: list[PlanRequest] = []
+        slots: list[int] = []
+        for i, (job, shape) in enumerate(pairs):
+            plan = job.spec.initial_plan
+            if shape.gpus != plan.num_gpus:
+                continue
+            if plan.tp > max(shape.min_gpus_per_node, 1):
+                continue
+            requests.append(
+                PlanRequest(
+                    model=job.model,
+                    global_batch=job.spec.global_batch,
+                    shape=shape,
+                    candidates=(plan,),
+                    key=("fixed", plan),
+                    check_host_mem=False,
+                )
+            )
+            slots.append(i)
+        for i, best in zip(slots, self.engine.best_of_many(requests)):
+            out[i] = best
+        return out
 
     def _build_curve(self, job: Job) -> GpuCurve:
         return self.engine.curve_of(

@@ -139,11 +139,20 @@ class EventCalendar:
         """
         epoch = self._epochs.get(job.job_id, 0) + 1
         self._epochs[job.job_id] = epoch
-        if not job.is_running or job.throughput <= 0:
+        if not job.is_running:
             return
         start = now
         if job.status == JobStatus.PAUSED and job.pause_until > start:
             start = job.pause_until
+        if job.throughput <= 0:
+            # Degenerate but detectable: a job granted with its work already
+            # (numerically) complete finishes regardless of throughput — the
+            # completion scan checks `remaining <= eps`, not progress rate.
+            # Without a hint the scale-mode loop (which is driven purely by
+            # this heap) would hold its resources forever.
+            if job.remaining_samples <= _EPS:
+                heapq.heappush(self._heap, (start, epoch, job.job_id))
+            return
         heapq.heappush(
             self._heap,
             (start + job.remaining_samples / job.throughput, epoch, job.job_id),
@@ -153,6 +162,31 @@ class EventCalendar:
         """Void the job's completion event (lazily removed from the heap)."""
         if job_id in self._epochs:
             self._epochs[job_id] += 1
+
+    def pop_due_completions(self, cutoff: float) -> list[str]:
+        """Consume and return the job ids of every live hint ``<= cutoff``.
+
+        Scale-mode completion drain: under lazy advancement the anchored
+        prediction *is* the completion event (no per-round accumulation
+        drifts away from it), so due hints are popped and acted on directly
+        instead of gating an exact rescan.  Each popped job's epoch advances
+        (the hint is consumed); a caller that finds a popped job not quite
+        finished — ulp-level residue after many re-anchorings — re-``track``s
+        it, which pushes a fresh, later hint.
+        """
+        due: list[str] = []
+        heap = self._heap
+        while heap:
+            time, epoch, job_id = heap[0]
+            if self._epochs.get(job_id) != epoch:
+                heapq.heappop(heap)
+                continue
+            if time > cutoff:
+                break
+            heapq.heappop(heap)
+            self._epochs[job_id] = epoch + 1
+            due.append(job_id)
+        return due
 
     def _earliest_hint(self) -> float | None:
         heap = self._heap
@@ -198,4 +232,33 @@ class EventCalendar:
             candidate = start + job.remaining_samples / job.throughput
             if candidate < next_time:
                 next_time = candidate
+        return max(next_time, now + _EPS)
+
+    def next_event_time_lazy(
+        self, now: float, policy_at: float | None = None
+    ) -> float:
+        """Scale-mode next event: hints are authoritative, no exact rescan.
+
+        Under lazy advancement a running job's progress is a closed-form
+        function of its anchor, so the anchored completion prediction *is*
+        the event time — there is no per-round float accumulation to stay
+        byte-identical with, and no O(active) scan.  ``policy_at`` is the
+        engine's next scheduled policy round (a clock stop only while
+        decisions are pending).
+        """
+        next_time = now + self.tick_interval
+        if self.has_arrivals:
+            arrival = self._arrivals[self._cursor].submit_time
+            if arrival < next_time:
+                next_time = arrival
+        if self.has_cluster_events:
+            event_time = self._cluster_events[self._cluster_cursor].time
+            if event_time < next_time:
+                next_time = event_time
+        if policy_at is not None and policy_at < next_time:
+            next_time = policy_at
+        hint = self._earliest_hint()
+        if hint is not None and hint < next_time:
+            next_time = hint
+        self.fast_rounds += 1
         return max(next_time, now + _EPS)

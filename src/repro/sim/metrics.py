@@ -74,6 +74,23 @@ class JobRecord:
         )
 
 
+#: Numeric ``JobRecord`` fields mirrored into compact per-field columns when
+#: record retention is bounded, so scalar aggregates (JCT stats, GPU-hours,
+#: overhead fractions, makespan) still cover every completed job after the
+#: full record objects are dropped.
+_STREAMED_FIELDS = (
+    "jct",
+    "submit_time",
+    "finish_time",
+    "gpu_seconds",
+    "reconfig_count",
+    "reconfig_seconds",
+    "reconfig_gpu_seconds",
+    "restart_count",
+    "lost_gpu_seconds",
+)
+
+
 @dataclass
 class SimulationResult:
     """Everything a benchmark needs to print a paper-style results row."""
@@ -81,6 +98,18 @@ class SimulationResult:
     policy_name: str
     trace_name: str
     records: list[JobRecord] = field(default_factory=list)
+    #: Bound on retained :class:`JobRecord` objects (None = keep all, the
+    #: default).  When set, :meth:`add_record` keeps only the first
+    #: ``max_records`` full records and streams every record's numeric
+    #: fields into compact columns instead, so week-long 100k-job runs
+    #: don't hold 100k record objects; aggregate statistics remain exact
+    #: over *all* completions.  Per-record slices (``by_tenant``,
+    #: ``sla_violations``) and serialization raise once anything was
+    #: dropped — they cannot be answered faithfully from a bounded sample.
+    max_records: int | None = None
+    #: Completed jobs whose record object was dropped by ``max_records``
+    #: (their numeric fields still feed the aggregates).
+    dropped_records: int = 0
     makespan: float = 0.0
     profiling_seconds: float = 0.0
     policy_invocations: int = 0
@@ -103,6 +132,50 @@ class SimulationResult:
     #: the serializer omits them then, keeping legacy documents byte-stable.
     cluster_events: int = 0
     evictions: int = 0
+    #: Streaming columns (see ``max_records``); populated lazily by
+    #: :meth:`add_record` only on bounded results, so unbounded runs keep
+    #: every aggregate reading ``records`` directly — byte-identical to the
+    #: pre-streaming implementation.
+    _columns: dict[str, list] | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # Record ingestion (streaming-aware)
+    # ------------------------------------------------------------------
+    def add_record(self, record: JobRecord) -> None:
+        """Account one completed job, honoring the retention bound."""
+        if self.max_records is not None:
+            cols = self._columns
+            if cols is None:
+                cols = self._columns = {name: [] for name in _STREAMED_FIELDS}
+            for name in _STREAMED_FIELDS:
+                cols[name].append(getattr(record, name))
+            if len(self.records) >= self.max_records:
+                self.dropped_records += 1
+                return
+        self.records.append(record)
+
+    def _values(self, name: str) -> list:
+        """One numeric field across *all* completed jobs (incl. dropped)."""
+        if self._columns is not None:
+            return self._columns[name]
+        return [getattr(r, name) for r in self.records]
+
+    def _full_records(self) -> list[JobRecord]:
+        """The record list, guarded against silently-partial slices."""
+        if self.dropped_records:
+            raise ValueError(
+                f"{self.dropped_records} records were dropped by the "
+                f"max_records={self.max_records} retention bound; "
+                "per-record slices are unavailable on streaming results"
+            )
+        return self.records
+
+    def span_bounds(self) -> tuple[float, float] | None:
+        """(earliest submit, latest finish) over all completed jobs."""
+        submits = self._values("submit_time")
+        if not submits:
+            return None
+        return min(submits), max(self._values("finish_time"))
 
     # ------------------------------------------------------------------
     # JCT statistics
@@ -114,10 +187,14 @@ class SimulationResult:
         must *not* read as an instant 0.0 JCT in scenario tables — NaN
         propagates through mean/percentile and renders as ``—``.
         """
-        records = subset if subset is not None else self.records
-        if not records:
+        if subset is None:
+            values = self._values("jct")
+            if not values:
+                return np.array([float("nan")])
+            return np.array(values)
+        if not subset:
             return np.array([float("nan")])
-        return np.array([r.jct for r in records])
+        return np.array([r.jct for r in subset])
 
     def avg_jct(self, subset: list[JobRecord] | None = None) -> float:
         return float(np.mean(self._jcts(subset)))
@@ -139,32 +216,34 @@ class SimulationResult:
     # Slices
     # ------------------------------------------------------------------
     def by_priority(self, priority: JobPriority) -> list[JobRecord]:
-        return [r for r in self.records if r.priority == priority]
+        return [r for r in self._full_records() if r.priority == priority]
 
     def by_tenant(self, tenant: str) -> list[JobRecord]:
-        return [r for r in self.records if r.tenant == tenant]
+        return [r for r in self._full_records() if r.tenant == tenant]
 
     def by_model(self, model_name: str) -> list[JobRecord]:
-        return [r for r in self.records if r.model_name == model_name]
+        return [r for r in self._full_records() if r.model_name == model_name]
 
     # ------------------------------------------------------------------
     # Overheads (paper §7.3 "System overheads")
     # ------------------------------------------------------------------
     @property
     def avg_reconfig_seconds_per_job(self) -> float:
-        if not self.records:
+        values = self._values("reconfig_seconds")
+        if not values:
             return 0.0
-        return float(np.mean([r.reconfig_seconds for r in self.records]))
+        return float(np.mean(values))
 
     @property
     def avg_reconfig_count(self) -> float:
-        if not self.records:
+        values = self._values("reconfig_count")
+        if not values:
             return 0.0
-        return float(np.mean([r.reconfig_count for r in self.records]))
+        return float(np.mean(values))
 
     @property
     def total_gpu_hours(self) -> float:
-        return sum(r.gpu_seconds for r in self.records) / HOUR
+        return sum(self._values("gpu_seconds")) / HOUR
 
     # ------------------------------------------------------------------
     # Cluster-dynamics accounting
@@ -178,7 +257,7 @@ class SimulationResult:
         pause tails (the penalty is dynamics waste, not reconfiguration
         overhead — it never pollutes ``reconfig_gpu_hour_fraction``).
         """
-        return sum(r.lost_gpu_seconds for r in self.records) / HOUR
+        return sum(self._values("lost_gpu_seconds")) / HOUR
 
     @property
     def goodput_gpu_hours(self) -> float:
@@ -194,7 +273,7 @@ class SimulationResult:
     @property
     def total_restarts(self) -> int:
         """Evictions across completed jobs (== ``evictions`` once all finish)."""
-        return sum(r.restart_count for r in self.records)
+        return sum(self._values("restart_count"))
 
     @property
     def reconfig_gpu_hour_fraction(self) -> float:
@@ -204,7 +283,7 @@ class SimulationResult:
         under Rubick held ≠ requested, so weighing by the request would
         misstate the overhead of exactly the policy being measured.
         """
-        recon = sum(r.reconfig_gpu_seconds for r in self.records) / HOUR
+        recon = sum(self._values("reconfig_gpu_seconds")) / HOUR
         total = self.total_gpu_hours
         return recon / total if total > 0 else 0.0
 
@@ -244,7 +323,7 @@ class SimulationResult:
 
     def summary(self) -> dict[str, float]:
         out = {
-            "jobs": float(len(self.records)),
+            "jobs": float(len(self.records) + self.dropped_records),
             "avg_jct_h": self.avg_jct_hours(),
             "p99_jct_h": self.p99_jct_hours(),
             "makespan_h": self.makespan_hours,

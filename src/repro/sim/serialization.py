@@ -109,6 +109,14 @@ def load_trace(path: str | Path) -> Trace:
 # Results
 # ----------------------------------------------------------------------
 def result_to_dict(result: SimulationResult) -> dict[str, Any]:
+    if result.dropped_records:
+        raise ValueError(
+            f"cannot serialize a streaming result: {result.dropped_records} "
+            f"records were dropped by the max_records="
+            f"{result.max_records} retention bound, and a persisted "
+            "document must carry every record (re-run without a record "
+            "limit to serialize)"
+        )
     doc = {
         "format_version": FORMAT_VERSION,
         "policy_name": result.policy_name,

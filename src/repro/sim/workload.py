@@ -131,7 +131,32 @@ def _feasible_plans(
 def _fix_gpu_request(
     model: ModelSpec, gpus: int, testbed: SyntheticTestbed
 ) -> tuple[int, list[ExecutionPlan]]:
-    """Adjust an infeasible GPU request to the nearest feasible count."""
+    """Adjust an infeasible GPU request to the nearest feasible count.
+
+    Memoized per testbed: the fix-up is a pure function of the testbed and
+    the (model, requested-size) pair, and a datacenter trace draws the same
+    few dozen pairs tens of thousands of times — without the memo each draw
+    rebuilds an O(total_gpus) candidate list and enumerates plans for it,
+    which dominates large-trace generation.  The memo lives on the testbed
+    (dying with it) and the lookup consumes no RNG draws, so memoized
+    generation is byte-identical to the direct path.
+    """
+    cache = getattr(testbed, "_fix_gpu_cache", None)
+    if cache is None:
+        cache = {}
+        testbed._fix_gpu_cache = cache
+    key = (model.name, gpus)
+    hit = cache.get(key)
+    if hit is None:
+        hit = _fix_gpu_request_uncached(model, gpus, testbed)
+        cache[key] = hit
+    # Fresh list per call: `_pick_plan` callers own and may mutate it.
+    return hit[0], list(hit[1])
+
+
+def _fix_gpu_request_uncached(
+    model: ModelSpec, gpus: int, testbed: SyntheticTestbed
+) -> tuple[int, list[ExecutionPlan]]:
     max_gpus = testbed.cluster.total_gpus
     gpus = max(gpus, MODEL_MIN_GPUS.get(model.name, 1))
     gpus = min(gpus, max_gpus)  # a request can never exceed the cluster
