@@ -427,7 +427,7 @@ def emit(payload: dict, path: str | os.PathLike | None = None) -> Path:
             Path(__file__).resolve().parent.parent / "BENCH_simspeed.json",
         )
     out = Path(path)
-    out.write_text(json.dumps(payload, indent=1) + "\n")
+    out.write_text(json.dumps(payload, indent=1, allow_nan=False) + "\n")
     return out
 
 

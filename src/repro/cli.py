@@ -46,6 +46,7 @@ from repro.oracle import SyntheticTestbed, build_perf_model
 from repro.scheduler.registry import POLICIES
 from repro.sim import WorkloadConfig, generate_trace
 from repro.sim.serialization import save_result, save_trace
+from repro.statics.cli import add_lint_parser
 from repro.units import HOUR
 from repro.workloads import (
     DEFAULT_SCENARIO,
@@ -329,7 +330,11 @@ def cmd_sweep(args) -> int:
         )
     )
     executed = len(outcome.wall_seconds)
-    run_time = sum(outcome.wall_seconds.values())
+    # Sum in sorted-key order: dict insertion order follows worker
+    # completion order, which varies run to run (RPL002).
+    run_time = sum(
+        outcome.wall_seconds[k] for k in sorted(outcome.wall_seconds)
+    )
     print(
         f"\nexecuted {executed} runs ({len(outcome.skipped)} resumed) in "
         f"{outcome.total_wall:.1f}s wall "
@@ -459,6 +464,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="Rubick reproduction toolkit"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    add_lint_parser(sub)
 
     p = sub.add_parser("generate-trace", help="synthesize a workload trace")
     _add_cluster_args(p)

@@ -344,6 +344,7 @@ def save_cluster_events(
                 "events": [event_to_dict(e) for e in dynamics.fixed_events],
             },
             indent=1,
+            allow_nan=False,
         )
     )
 

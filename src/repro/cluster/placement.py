@@ -42,7 +42,7 @@ class Placement:
         # (the simulator reads `total` on every accounting step).  The cache
         # attribute is not a dataclass field: equality and repr ignore it.
         try:
-            return self._total_cache
+            return self._total_cache  # type: ignore[attr-defined]
         except AttributeError:
             gpus = cpus = 0
             host_mem = 0.0
@@ -51,7 +51,7 @@ class Placement:
                 cpus += share.cpus
                 host_mem += share.host_mem
             total = ResourceVector(gpus, cpus, host_mem)
-            object.__setattr__(self, "_total_cache", total)
+            object.__setattr__(self, "_total_cache", total)  # repro-lint: disable=RPL006 -- idempotent pure-value cache; equality/repr exempt by design
             return total
 
     @property

@@ -45,10 +45,12 @@ class Node:
     #: zero capacity, so free-resource queries and packing skip them.
     up: bool = True
 
-    #: Mutation listener (the owning cluster's SoA mirror).  A class-level
-    #: default rather than a dataclass field: standalone nodes work without
-    #: one, and it stays out of __init__/__repr__/__eq__.
-    _listener = None
+    #: Mutation listener (the owning cluster's SoA mirror).  Excluded from
+    #: __init__/__repr__/__eq__: standalone nodes work without one, and
+    #: wiring identity must not affect node equality.
+    _listener: ClusterIndex | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def capacity(self) -> ResourceVector:

@@ -161,7 +161,7 @@ class RunExecution:
 
 def execute_run(run: RunSpec) -> RunExecution:
     """Build everything from the spec and replay the trace once."""
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
     trace = build_trace(run)
     policy = make_policy(run.policy)
     cluster = run.cluster
@@ -182,7 +182,7 @@ def execute_run(run: RunSpec) -> RunExecution:
         policy=policy,
         sim=sim,
         trace=trace,
-        wall_seconds=time.perf_counter() - start,
+        wall_seconds=time.perf_counter() - start,  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
     )
 
 
@@ -274,7 +274,7 @@ def run_sweep(
       in-process (and is what ``workers > 1`` must be byte-identical to).
     * ``resume`` — skip runs whose key already has a result on disk.
     """
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
     if isinstance(spec, SweepSpec):
         runs = spec.expand()
     else:
@@ -345,7 +345,7 @@ def run_sweep(
         for key in outcome.skipped:
             outcome.results[key] = store.load_result(key)
 
-    outcome.total_wall = time.perf_counter() - started
+    outcome.total_wall = time.perf_counter() - started  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
     if store is not None:
         store.append_meta(
             {

@@ -174,7 +174,7 @@ class RunSpec:
             payload.pop("scenario")
         if not payload.get("dynamics"):
             payload.pop("dynamics", None)
-        canonical = json.dumps(payload, sort_keys=True)
+        canonical = json.dumps(payload, sort_keys=True, allow_nan=False)
         return hashlib.sha256(canonical.encode()).hexdigest()[:8]
 
     @property

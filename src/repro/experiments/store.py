@@ -44,7 +44,7 @@ class RunStore:
         return self.runs_dir / f"{run_key}.jsonl"
 
     def completed_keys(self) -> set[str]:
-        return {p.stem for p in self.runs_dir.glob("*.jsonl")}
+        return {p.stem for p in sorted(self.runs_dir.glob("*.jsonl"))}
 
     def save(self, run: RunSpec, result: SimulationResult) -> Path:
         record = {
@@ -56,7 +56,9 @@ class RunStore:
         path = self.path_for(run.run_key)
         # Atomic publish: concurrent workers each write a private temp file.
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(record, sort_keys=True) + "\n")
+        tmp.write_text(
+            json.dumps(record, sort_keys=True, allow_nan=False) + "\n"
+        )
         os.replace(tmp, path)
         return path
 
@@ -89,10 +91,14 @@ class RunStore:
     # ------------------------------------------------------------------
     def write_spec(self, spec: SweepSpec) -> None:
         (self.root / "sweep-spec.json").write_text(
-            json.dumps(spec.to_dict(), sort_keys=True, indent=1)
+            json.dumps(
+                spec.to_dict(), sort_keys=True, indent=1, allow_nan=False
+            )
         )
 
     def append_meta(self, entry: dict[str, Any]) -> None:
         """Append one wall-clock accounting line (kept out of ``runs/``)."""
         with (self.root / "sweep-meta.jsonl").open("a") as fh:
-            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.write(
+                json.dumps(entry, sort_keys=True, allow_nan=False) + "\n"
+            )

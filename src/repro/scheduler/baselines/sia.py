@@ -83,7 +83,7 @@ class SiaPolicy(SchedulerPolicy):
         for job in active:
             if job.is_running and not job.reconfig_gate_open(ctx.reconfig_delta):
                 frozen[job.job_id] = cluster.placement_of(job.job_id).total.gpus
-        budget = total_gpus - sum(frozen.values())
+        budget = total_gpus - sum(frozen[j] for j in sorted(frozen))
         for job_id, gpus in frozen.items():
             counts[job_id] = gpus
 

@@ -152,7 +152,7 @@ class Simulator:
         #: ``(model, batch, gpus, cpus, plan) -> (baseline, best, host_mem)``
         #: memo for :meth:`_make_job` — all ground-truth-derived, so entries
         #: never go stale (ground truth never refits).
-        self._intrinsics_cache: dict[tuple, tuple[float, float, float]] = {}
+        self._intrinsics_cache: dict[tuple, tuple[float, float, float]] = {}  # repro-lint: disable=RPL005 -- ground-truth intrinsics: TestbedScorer never refits (DESIGN.md 32-34)
 
     # ------------------------------------------------------------------
     # Setup
@@ -268,7 +268,7 @@ class Simulator:
             return self._run_scale(
                 trace, tenants=tenants, cluster_events=cluster_events
             )
-        wall_start = _time.perf_counter()
+        wall_start = _time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
         profiling_seconds = self._profile_models(trace)
         cluster = Cluster(self.cluster_spec)
         calendar = EventCalendar(
@@ -363,9 +363,9 @@ class Simulator:
                 idle_rounds = 0  # steady state implies running jobs
             else:
                 ctx.now = now
-                wall = _time.perf_counter()
+                wall = _time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
                 allocations = self.policy.schedule(active_list, cluster, ctx)
-                result.policy_wall_seconds += _time.perf_counter() - wall
+                result.policy_wall_seconds += _time.perf_counter() - wall  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
                 result.policy_invocations += 1
                 changed = self._apply(
                     allocations, active_list, cluster, now, calendar,
@@ -419,7 +419,7 @@ class Simulator:
         result.makespan = bounds[1] - bounds[0] if bounds else 0.0
         result.calendar_fast_rounds = calendar.fast_rounds
         result.calendar_exact_scans = calendar.exact_scans
-        result.sim_wall_seconds = _time.perf_counter() - wall_start
+        result.sim_wall_seconds = _time.perf_counter() - wall_start  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
         return result
 
     # ------------------------------------------------------------------
@@ -453,7 +453,7 @@ class Simulator:
           round length instead of zero, which is what keeps fleet-scale
           scheduling tractable.
         """
-        wall_start = _time.perf_counter()
+        wall_start = _time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
         profiling_seconds = self._profile_models(trace)
         cluster = Cluster(self.cluster_spec)
         calendar = EventCalendar(
@@ -562,9 +562,9 @@ class Simulator:
                     _materialize(active[job_id], now, gpu_seconds)
                 active_list = list(active.values())
                 ctx.now = now
-                wall = _time.perf_counter()
+                wall = _time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
                 allocations = self.policy.schedule(active_list, cluster, ctx)
-                result.policy_wall_seconds += _time.perf_counter() - wall
+                result.policy_wall_seconds += _time.perf_counter() - wall  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
                 result.policy_invocations += 1
                 self._apply(
                     allocations, active_list, cluster, now, calendar,
@@ -600,7 +600,7 @@ class Simulator:
         result.makespan = bounds[1] - bounds[0] if bounds else 0.0
         result.calendar_fast_rounds = calendar.fast_rounds
         result.calendar_exact_scans = calendar.exact_scans
-        result.sim_wall_seconds = _time.perf_counter() - wall_start
+        result.sim_wall_seconds = _time.perf_counter() - wall_start  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
         return result
 
     def _materialize(

@@ -98,7 +98,9 @@ def trace_from_dict(data: dict[str, Any]) -> Trace:
 
 
 def save_trace(trace: Trace, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(trace_to_dict(trace), indent=1))
+    Path(path).write_text(
+        json.dumps(trace_to_dict(trace), indent=1, allow_nan=False)
+    )
 
 
 def load_trace(path: str | Path) -> Trace:
@@ -228,7 +230,9 @@ def result_from_dict(data: dict[str, Any]) -> SimulationResult:
 
 
 def save_result(result: SimulationResult, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(result_to_dict(result), indent=1))
+    Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=1, allow_nan=False)
+    )
 
 
 def load_result(path: str | Path) -> SimulationResult:

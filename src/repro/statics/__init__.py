@@ -1,0 +1,66 @@
+"""``repro.statics`` — the repo's AST-based invariant linter (``repro lint``).
+
+Static enforcement of the contracts the test suite can only check
+behaviorally:
+
+===== ==================================================================
+code  invariant
+===== ==================================================================
+RPL001 no ambient entropy (wall clocks, global RNG) on reproducible paths
+RPL002 no order-sensitive accumulation over unordered sources
+RPL003 Node/Cluster state mutates only through the SoA listener core
+RPL004 to_dict/from_dict pairing; json.dump(s) must pass allow_nan=False
+RPL005 store-derived memo caches must show model_version discipline
+RPL006 object.__setattr__ on frozen specs only during construction
+===== ==================================================================
+
+(Plus ``RPL000``: the linter's own hygiene — malformed, reasonless, or
+unused suppressions.)  See DESIGN.md item 40 and ``tests/test_statics.py``.
+"""
+
+from repro.statics.baseline import (
+    DEFAULT_BASELINE,
+    BaselineEntry,
+    load_baseline,
+    save_baseline,
+    split_against_baseline,
+)
+from repro.statics.core import (
+    META_CODE,
+    Finding,
+    ImportMap,
+    Rule,
+    SourceFile,
+    parse_source,
+)
+from repro.statics.engine import (
+    DEFAULT_TARGETS,
+    LintReport,
+    collect_files,
+    lint_file,
+    repo_root,
+    run_lint,
+)
+from repro.statics.rules import all_rules, rules_by_code
+
+__all__ = [
+    "BaselineEntry",
+    "DEFAULT_BASELINE",
+    "DEFAULT_TARGETS",
+    "Finding",
+    "ImportMap",
+    "LintReport",
+    "META_CODE",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "collect_files",
+    "lint_file",
+    "load_baseline",
+    "parse_source",
+    "repo_root",
+    "rules_by_code",
+    "run_lint",
+    "save_baseline",
+    "split_against_baseline",
+]

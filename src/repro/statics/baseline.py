@@ -1,0 +1,95 @@
+"""The committed findings baseline: the CI gate is zero *new* findings.
+
+The baseline grandfathers pre-existing findings so the gate can be strict
+from day one.  Entries are identified by ``(path, code, stripped line
+content)`` — stable under unrelated line-number drift — and matched as a
+multiset, so two identical offending lines in one file need two entries.
+
+``repro lint --check-baseline`` fails on new findings *and* on stale
+entries (a fixed finding whose entry lingers): the baseline always mirrors
+the tree exactly, which is what ``tests/test_statics.py``'s self-check
+pins.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.statics.core import Finding
+
+BASELINE_FORMAT_VERSION = 1
+
+#: Default location, repo-root-relative.
+DEFAULT_BASELINE = "LINT_BASELINE.json"
+
+
+@dataclass(frozen=True, order=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    path: str
+    code: str
+    content: str
+
+    def format(self) -> str:
+        return f"{self.path}: {self.code} [{self.content}]"
+
+
+def load_baseline(path: Path) -> Counter:
+    """The baseline as an identity multiset (empty if the file is absent)."""
+    if not path.exists():
+        return Counter()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    version = data.get("format_version")
+    if version != BASELINE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported baseline format version {version!r} "
+            f"(expected {BASELINE_FORMAT_VERSION})"
+        )
+    return Counter(
+        BaselineEntry(
+            path=e["path"], code=e["code"], content=e["content"]
+        )
+        for e in data["findings"]
+    )
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write the current findings as the new baseline."""
+    entries = sorted(
+        BaselineEntry(path=f.path, code=f.code, content=f.content)
+        for f in findings
+    )
+    doc = {
+        "format_version": BASELINE_FORMAT_VERSION,
+        "findings": [
+            {"path": e.path, "code": e.code, "content": e.content}
+            for e in entries
+        ],
+    }
+    path.write_text(
+        json.dumps(doc, indent=1, allow_nan=False) + "\n", encoding="utf-8"
+    )
+
+
+def split_against_baseline(
+    findings: list[Finding], baseline: Counter
+) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+    """``(new, grandfathered, stale)`` of findings vs the baseline multiset."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        entry = BaselineEntry(
+            path=finding.path, code=finding.code, content=finding.content
+        )
+        if remaining[entry] > 0:
+            remaining[entry] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(remaining.elements())
+    return new, grandfathered, stale

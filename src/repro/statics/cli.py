@@ -1,0 +1,146 @@
+"""``repro lint``: the command-line face of the invariant linter.
+
+Exit codes: 0 — clean against the baseline; 1 — new findings (or, with
+``--check-baseline``, stale baseline entries); 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.statics.baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    save_baseline,
+)
+from repro.statics.engine import DEFAULT_TARGETS, repo_root, run_lint
+from repro.statics.rules import all_rules, rules_by_code
+
+
+def add_lint_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "lint",
+        help="AST-based invariant linter over the repo's own source",
+        description=(
+            "Enforces the determinism/lockstep/serialization/cache "
+            "contracts (rules RPL001-RPL006) at lint time. "
+            "See DESIGN.md item 40."
+        ),
+    )
+    p.add_argument(
+        "targets",
+        nargs="*",
+        default=list(DEFAULT_TARGETS),
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_TARGETS)})",
+    )
+    p.add_argument(
+        "--root",
+        default=None,
+        help="repository root (default: auto-detected from the package)",
+    )
+    p.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file, root-relative (default: {DEFAULT_BASELINE})",
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    p.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="CI gate: also fail on stale (already-fixed) baseline entries",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    p.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    p.add_argument(
+        "--report",
+        default=None,
+        help="also write a JSON findings report to this path",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule with its rationale and exit",
+    )
+    p.set_defaults(func=cmd_lint)
+
+
+def cmd_lint(args) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.title}")
+            print(f"        {rule.rationale}")
+        return 0
+    root = Path(args.root).resolve() if args.root else repo_root()
+    try:
+        rules = rules_by_code(
+            [c.strip() for c in args.select.split(",")] if args.select else None
+        )
+    except ValueError as exc:
+        print(str(exc))
+        return 2
+    missing = [
+        t for t in args.targets if not (root / t).exists()
+    ]
+    if missing:
+        print(
+            f"lint target(s) not found under {root}: {', '.join(missing)}"
+        )
+        return 2
+    baseline_path = root / args.baseline
+    baseline = None if args.no_baseline else load_baseline(baseline_path)
+    report = run_lint(
+        root=root,
+        targets=tuple(args.targets),
+        rules=rules,
+        baseline=baseline,
+    )
+
+    if args.update_baseline:
+        save_baseline(baseline_path, report.findings)
+        print(
+            f"baseline updated: {len(report.findings)} finding(s) "
+            f"recorded in {baseline_path}"
+        )
+        return 0
+
+    for finding in report.new:
+        print(finding.format())
+    for entry in report.stale:
+        print(f"stale baseline entry (fixed? regenerate): {entry.format()}")
+    summary = (
+        f"lint: {report.files_scanned} files, "
+        f"{len(report.new)} new finding(s), "
+        f"{len(report.grandfathered)} baselined, "
+        f"{len(report.stale)} stale baseline entr(ies), "
+        f"{report.suppressed} suppressed"
+    )
+    print(summary)
+
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(
+                report.as_dict(), indent=1, sort_keys=True, allow_nan=False
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    if report.new:
+        return 1
+    if args.check_baseline and report.stale:
+        return 1
+    return 0

@@ -1,0 +1,162 @@
+"""The lint engine: collect files, run rules, apply suppressions, report.
+
+Everything is deterministic by construction: files are visited in sorted
+order, rules in code order, findings sorted by location — the same tree
+produces the same report on every host (the linter holds itself to the
+repo's own byte-determinism bar).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.statics.baseline import (
+    BaselineEntry,
+    split_against_baseline,
+)
+from repro.statics.core import (
+    META_CODE,
+    Finding,
+    Rule,
+    SourceFile,
+    parse_source,
+)
+from repro.statics.rules import all_rules
+
+#: Default lint targets, repo-root-relative.  ``tests/`` is deliberately
+#: out: tests mutate state directly and smuggle NaN on purpose.
+DEFAULT_TARGETS = ("src/repro", "examples", "benchmarks")
+
+
+def repo_root() -> Path:
+    """The repository root (this file lives at src/repro/statics/...)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def collect_files(root: Path, targets: tuple[str, ...]) -> list[Path]:
+    """Every ``.py`` file under the targets, sorted for determinism."""
+    out: set[Path] = set()
+    for target in targets:
+        path = (root / target).resolve()
+        if path.is_file():
+            out.add(path)
+        elif path.is_dir():
+            out.update(
+                p for p in sorted(path.rglob("*.py")) if p.is_file()
+            )
+    return sorted(out)
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    new: list[Finding] = field(default_factory=list)
+    grandfathered: list[Finding] = field(default_factory=list)
+    stale: list[BaselineEntry] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+
+    @property
+    def gate_failures(self) -> int:
+        """What the CI gate counts: new findings plus stale baseline rot."""
+        return len(self.new) + len(self.stale)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly report (the CI artifact; one-way, hence not
+        to_dict — there is no reason to reload a report)."""
+        def as_row(f: Finding) -> dict:
+            return {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "message": f.message,
+                "content": f.content,
+            }
+        return {
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "new": [as_row(f) for f in self.new],
+            "grandfathered": [as_row(f) for f in self.grandfathered],
+            "stale_baseline": [
+                {"path": e.path, "code": e.code, "content": e.content}
+                for e in self.stale
+            ],
+        }
+
+
+def lint_file(src: SourceFile, rules: tuple[Rule, ...]) -> tuple[list[Finding], int]:
+    """``(findings, suppressed_count)`` for one parsed file.
+
+    Suppressions are honored per (line, code); every suppression must earn
+    its keep — one that silences nothing becomes an RPL000 finding, so the
+    inline inventory can only shrink when the code it excuses does.
+    """
+    raw: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(src.rel):
+            continue
+        raw.extend(rule.check(src))
+    findings: list[Finding] = list(src.meta_findings)
+    used: set[tuple[int, str]] = set()
+    suppressed = 0
+    for finding in sorted(raw):
+        directive = src.suppressions.get(finding.line)
+        if directive is not None and finding.code in directive.codes:
+            used.add((finding.line, finding.code))
+            suppressed += 1
+            continue
+        findings.append(finding)
+    for line in sorted(src.suppressions):
+        directive = src.suppressions[line]
+        for code in directive.codes:
+            if (line, code) not in used:
+                findings.append(
+                    Finding(
+                        path=src.rel,
+                        line=line,
+                        col=1,
+                        code=META_CODE,
+                        message=(
+                            f"suppression of {code} matches no finding "
+                            "on this line; delete it"
+                        ),
+                        content=src.line_content(line),
+                    )
+                )
+    return sorted(findings), suppressed
+
+
+def run_lint(
+    *,
+    root: Path | None = None,
+    targets: tuple[str, ...] = DEFAULT_TARGETS,
+    rules: tuple[Rule, ...] | None = None,
+    baseline: Counter | None = None,
+) -> LintReport:
+    """Lint the targets and split findings against the baseline."""
+    root = (root or repo_root()).resolve()
+    rules = rules if rules is not None else all_rules()
+    report = LintReport()
+    for path in collect_files(root, targets):
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        parsed = parse_source(path, rel)
+        report.files_scanned += 1
+        if isinstance(parsed, Finding):  # syntax error
+            report.findings.append(parsed)
+            continue
+        findings, suppressed = lint_file(parsed, rules)
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+    report.findings.sort()
+    report.new, report.grandfathered, report.stale = split_against_baseline(
+        report.findings, baseline if baseline is not None else Counter()
+    )
+    return report

@@ -1,0 +1,141 @@
+"""RPL003: direct mutation of Node/Cluster state outside the listener core.
+
+PR 6's ``ClusterIndex`` (DESIGN.md 35) mirrors the ``Node`` object graph in
+numpy struct-of-arrays, kept in *exact lockstep* via mutation listeners that
+only ``cluster/state.py`` fires.  Any write that bypasses the listener —
+``node.up = False``, ``node.allocations[job] = share``,
+``node.allocations.pop(job)`` — desyncs the mirror: aggregates served from
+the arrays (``free``, ``gpu_utilization``, ``placement_of``) silently stop
+matching the objects, which the behavioral tests only catch if a golden
+happens to cross the desynced query.
+
+All mutations must route through the sanctioned API: ``Node.allocate`` /
+``set_allocation`` / ``release``, ``Cluster.apply`` / ``release`` /
+``remove_node`` / ``add_node``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.statics.core import Finding, Rule, SourceFile
+
+#: The listener core: the only files allowed to touch mirrored state.
+ALLOWED_FILES = (
+    "src/repro/cluster/state.py",
+    "src/repro/cluster/soa.py",
+)
+
+#: Attributes mirrored by (or wired to) the SoA index.  A bare store to any
+#: of these bypasses the listener protocol.
+_MIRRORED_ATTRS = {
+    "up",
+    "allocations",
+    "_listener",
+    "used_gpus",
+    "used_cpus",
+    "used_mem",
+    "alloc_count",
+}
+
+#: In-place mutators on the allocations dict.
+_DICT_MUTATORS = {"pop", "clear", "update", "setdefault", "popitem"}
+
+#: Listener-protocol internals (state.py's private channel to the mirror).
+_PROTOCOL_CALLS = {"_notify", "share_changed", "node_down", "node_up",
+                   "append_node"}
+
+
+class LockstepRule(Rule):
+    code = "RPL003"
+    title = "Node/Cluster state written outside the mutation-listener core"
+    rationale = (
+        "The SoA ClusterIndex mirror stays correct only if every Node "
+        "mutation fires its listener; route writes through Node.allocate/"
+        "set_allocation/release or Cluster.apply/remove_node/add_node "
+        "(DESIGN.md 35)."
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return rel not in ALLOWED_FILES
+
+    def check(self, src: SourceFile) -> list[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(src.tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                out.extend(self._check_target(src, node, target))
+            if isinstance(node, ast.Call):
+                out.extend(self._check_call(src, node))
+        return out
+
+    def _check_target(
+        self, src: SourceFile, stmt: ast.stmt, target: ast.expr
+    ) -> list[Finding]:
+        # node.up = ... / node.allocations = ... / index.used_gpus = ...
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in _MIRRORED_ATTRS
+        ):
+            return [
+                src.finding(
+                    self.code,
+                    stmt,
+                    f"direct write to .{target.attr} bypasses the SoA "
+                    "mutation listener; use the Node/Cluster mutation API",
+                )
+            ]
+        # node.allocations[job_id] = ... / del node.allocations[job_id]
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Attribute)
+            and target.value.attr == "allocations"
+        ):
+            return [
+                src.finding(
+                    self.code,
+                    stmt,
+                    "subscript write to .allocations bypasses the SoA "
+                    "mutation listener; use Node.allocate/set_allocation/"
+                    "release",
+                )
+            ]
+        return []
+
+    def _check_call(self, src: SourceFile, node: ast.Call) -> list[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return []
+        # node.allocations.pop(...) and friends
+        if (
+            func.attr in _DICT_MUTATORS
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "allocations"
+        ):
+            return [
+                src.finding(
+                    self.code,
+                    node,
+                    f".allocations.{func.attr}() mutates mirrored state "
+                    "behind the listener; use Node.allocate/"
+                    "set_allocation/release",
+                )
+            ]
+        # x._notify(...) / listener.share_changed(...) outside the core
+        if func.attr in _PROTOCOL_CALLS:
+            return [
+                src.finding(
+                    self.code,
+                    node,
+                    f".{func.attr}() is the listener protocol's private "
+                    "channel; only cluster/state.py and cluster/soa.py "
+                    "may drive it",
+                )
+            ]
+        return []

@@ -1,0 +1,48 @@
+"""RPL002 fixture: iteration-order hazards — positives, negatives, suppressions."""
+
+import glob
+import os
+
+
+def positive_sum_values(wall_seconds: dict) -> float:
+    return sum(wall_seconds.values())
+
+
+def positive_sum_set(xs: list) -> float:
+    return sum({x * 0.5 for x in xs})
+
+
+def positive_sum_set_call(xs: list) -> float:
+    return sum(set(xs))
+
+
+def positive_listdir(path: str) -> list:
+    return [name for name in os.listdir(path)]
+
+
+def positive_glob(pattern: str) -> list:
+    return [p for p in glob.glob(pattern)]
+
+
+def positive_pathlib_glob(root) -> list:
+    return [p.name for p in root.rglob("*.jsonl")]
+
+
+def negative_sorted_keys(wall_seconds: dict) -> float:
+    return sum(wall_seconds[k] for k in sorted(wall_seconds))
+
+
+def negative_sorted_listing(path: str) -> list:
+    return sorted(os.listdir(path))
+
+
+def negative_order_free_count(path: str) -> int:
+    return len(os.listdir(path))
+
+
+def negative_min_is_commutative(counts: dict) -> int:
+    return min(counts.values())
+
+
+def suppressed_sum_values(counts: dict) -> int:
+    return sum(counts.values())  # repro-lint: disable=RPL002 -- fixture: int values, addition is exact

@@ -1,0 +1,41 @@
+"""RPL003 fixture: SoA-lockstep violations — positives, negatives, suppressions."""
+
+
+def positive_attribute_write(node) -> None:
+    node.up = False
+
+
+def positive_augmented_write(node) -> None:
+    node.used_gpus += 4
+
+
+def positive_subscript_write(node, share) -> None:
+    node.allocations["job-1"] = share
+
+
+def positive_subscript_delete(node) -> None:
+    del node.allocations["job-1"]
+
+
+def positive_dict_mutator(node) -> None:
+    node.allocations.pop("job-1", None)
+
+
+def positive_protocol_call(node) -> None:
+    node._notify("job-1", None, None)
+
+
+def negative_sanctioned_api(cluster, node, placement, share):
+    cluster.apply("job-1", placement)
+    node.allocate("job-1", share)
+    node.release("job-1")
+    return node.allocations.get("job-1")
+
+
+def negative_unrelated_attrs(job) -> None:
+    job.status = "running"
+    job.progress += 1.0
+
+
+def suppressed_write(node) -> None:
+    node.up = True  # repro-lint: disable=RPL003 -- fixture: test harness resets a detached node

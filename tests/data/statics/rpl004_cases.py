@@ -1,0 +1,53 @@
+"""RPL004 fixture: serialization-contract drift — positives, negatives, suppressions."""
+
+import json
+
+
+def widget_to_dict(widget) -> dict:
+    return {"name": widget.name}
+
+
+def gadget_to_dict(gadget) -> dict:
+    return {"name": gadget.name}
+
+
+def gadget_from_dict(data: dict) -> str:
+    return data["name"]
+
+
+def _helper_to_dict(thing) -> dict:
+    return {"name": thing.name}
+
+
+class WriteOnlyDoc:
+    def to_dict(self) -> dict:
+        return {}
+
+
+class RoundTripDoc:
+    def to_dict(self) -> dict:
+        return {}
+
+    @staticmethod
+    def from_dict(data: dict) -> "RoundTripDoc":
+        return RoundTripDoc()
+
+
+def positive_dump(payload: dict, fh) -> None:
+    json.dump(payload, fh)
+
+
+def positive_dumps(payload: dict) -> str:
+    return json.dumps(payload, indent=1)
+
+
+def negative_dump(payload: dict, fh) -> None:
+    json.dump(payload, fh, allow_nan=False)
+
+
+def negative_dumps(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, allow_nan=False)
+
+
+def suppressed_dumps(payload: dict) -> str:
+    return json.dumps(payload)  # repro-lint: disable=RPL004 -- fixture: payload is NaN-free by construction

@@ -1,0 +1,63 @@
+"""RPL005 fixture: version-less memos over refittable store state."""
+
+from functools import lru_cache
+
+
+class PositiveMemo:
+    """Reads the perf store, memoizes, never looks at a version."""
+
+    def __init__(self, perf_store):
+        self.perf_store = perf_store
+        self._best_cache: dict = {}
+
+    def best(self, name: str):
+        hit = self._best_cache.get(name)
+        if hit is None:
+            hit = self.perf_store.model(name)
+            self._best_cache[name] = hit
+        return hit
+
+
+class NegativeVersionedMemo:
+    """Same shape, but the memo key carries model_version."""
+
+    def __init__(self, perf_store):
+        self.perf_store = perf_store
+        self._best_cache: dict = {}
+
+    def best(self, name: str):
+        key = (name, self.perf_store.model_version(name))
+        hit = self._best_cache.get(key)
+        if hit is None:
+            hit = self.perf_store.model(name)
+            self._best_cache[key] = hit
+        return hit
+
+
+class NegativeStoreFreeMemo:
+    """A memo with no store in sight: pure-value cache, out of scope."""
+
+    def __init__(self):
+        self._area_cache: dict = {}
+
+    def area(self, w: float, h: float) -> float:
+        key = (w, h)
+        if key not in self._area_cache:
+            self._area_cache[key] = w * h
+        return self._area_cache[key]
+
+
+@lru_cache(maxsize=None)
+def positive_lru_over_store(perf_store, name: str):
+    return perf_store.model(name)
+
+
+@lru_cache(maxsize=None)
+def negative_pure_lru(x: int) -> int:
+    return x * x
+
+
+class SuppressedMemo:
+    def __init__(self, perf_store):
+        self.perf_store = perf_store
+        self._truth_cache: dict = {}  # repro-lint: disable=RPL005 -- fixture: ground-truth store, never refit

@@ -1,0 +1,25 @@
+"""RPL006 fixture: frozen-dataclass mutation outside construction."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Spec:
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", max(self.value, 0))
+
+    def positive_bump(self) -> None:
+        object.__setattr__(self, "value", self.value + 1)
+
+    def suppressed_bump(self) -> None:
+        object.__setattr__(self, "value", 0)  # repro-lint: disable=RPL006 -- fixture: idempotent cache write
+
+
+class Holder:
+    def __init__(self, value: int) -> None:
+        object.__setattr__(self, "value", value)
+
+    def __setstate__(self, state: dict) -> None:
+        object.__setattr__(self, "value", state["value"])

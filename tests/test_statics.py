@@ -1,0 +1,518 @@
+"""The invariant linter (``repro lint``): rules, suppressions, baseline, CLI.
+
+Each rule is exercised against a dedicated fixture under
+``tests/data/statics/`` with positive cases (must be found), negative
+cases (compliant idioms must stay silent), and a suppressed case (inline
+directive with a written reason).  The fixture tests are written so that
+disabling a rule makes its test fail: every expectation counts concrete
+positives.
+
+The self-check tests at the bottom are the other half of the CI gate:
+they pin the *live tree* against the committed ``LINT_BASELINE.json``, so
+a new violation (or a fixed-but-still-baselined one) fails the suite even
+before the dedicated ``static-analysis`` CI job runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.statics import (
+    DEFAULT_BASELINE,
+    DEFAULT_TARGETS,
+    META_CODE,
+    BaselineEntry,
+    Finding,
+    ImportMap,
+    all_rules,
+    load_baseline,
+    run_lint,
+    rules_by_code,
+    save_baseline,
+    split_against_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "data" / "statics"
+
+
+def lint_fixture(name: str, rules=None):
+    """Lint one fixture file with no baseline; returns the full report."""
+    return run_lint(
+        root=FIXTURES,
+        targets=(name,),
+        rules=rules,
+        baseline=Counter(),
+    )
+
+
+def codes_of(report) -> list[str]:
+    return [f.code for f in report.findings]
+
+
+# ----------------------------------------------------------------------
+# Per-rule fixtures: positives found, negatives silent, suppression honored
+# ----------------------------------------------------------------------
+#: (fixture, rule code, count of positive findings, substrings that must
+#: each appear in exactly one finding's offending-line content)
+RULE_CASES = [
+    (
+        "rpl001_cases.py",
+        "RPL001",
+        5,
+        ["clock.time()", "datetime.now()", "random.random()",
+         "np.random.exponential", "clock.perf_counter()"],
+    ),
+    (
+        "rpl002_cases.py",
+        "RPL002",
+        6,
+        ["wall_seconds.values()", "x * 0.5", "sum(set(xs))",
+         "os.listdir(path)]", "glob.glob(pattern)", "rglob"],
+    ),
+    (
+        "rpl003_cases.py",
+        "RPL003",
+        6,
+        ["node.up = False", "node.used_gpus += 4",
+         'node.allocations["job-1"] = share',
+         'del node.allocations["job-1"]', ".pop", "_notify"],
+    ),
+    (
+        "rpl004_cases.py",
+        "RPL004",
+        4,
+        ["def widget_to_dict", "def to_dict", "json.dump(payload, fh)",
+         "json.dumps(payload, indent=1)"],
+    ),
+    (
+        "rpl005_cases.py",
+        "RPL005",
+        2,
+        ["self._best_cache: dict = {}", "def positive_lru_over_store"],
+    ),
+    (
+        "rpl006_cases.py",
+        "RPL006",
+        1,
+        ['object.__setattr__(self, "value", self.value + 1)'],
+    ),
+]
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize(
+        "fixture,code,count,anchors",
+        RULE_CASES,
+        ids=[c[1] for c in RULE_CASES],
+    )
+    def test_positives_found_negatives_silent(
+        self, fixture, code, count, anchors
+    ):
+        report = lint_fixture(fixture)
+        found = [f for f in report.findings if f.code == code]
+        assert len(found) == count, [f.format() for f in report.findings]
+        # Every finding sits on a positive_* line (or the decorated def /
+        # memo-init it anchors to), never on a negative_* case.
+        for finding in found:
+            assert "negative" not in finding.content
+            assert "suppressed" not in finding.content
+        # Each anchor substring identifies exactly one distinct positive.
+        for anchor in anchors:
+            hits = [f for f in found if anchor in f.content]
+            assert len(hits) == 1, (anchor, [f.content for f in found])
+        # No stray findings of other codes (the fixtures are single-rule
+        # by construction), and no unused-suppression meta noise.
+        assert set(codes_of(report)) == {code}
+
+    @pytest.mark.parametrize(
+        "fixture,code,count,anchors",
+        RULE_CASES,
+        ids=[c[1] for c in RULE_CASES],
+    )
+    def test_suppressed_case_is_suppressed(self, fixture, code, count, anchors):
+        report = lint_fixture(fixture)
+        assert report.suppressed == 1
+        # The directive was *used*: no RPL000 unused-suppression finding.
+        assert META_CODE not in codes_of(report)
+
+    @pytest.mark.parametrize(
+        "fixture,code,count,anchors",
+        RULE_CASES,
+        ids=[c[1] for c in RULE_CASES],
+    )
+    def test_fixture_detects_rule_disablement(
+        self, fixture, code, count, anchors
+    ):
+        """With the rule deselected the positives vanish — proving the
+        findings in the sibling test come from *this* rule, not another."""
+        others = tuple(r for r in all_rules() if r.code != code)
+        report = lint_fixture(fixture, rules=others)
+        assert code not in codes_of(report)
+        # ...and its now-pointless suppression is called out as unused.
+        assert META_CODE in codes_of(report)
+
+    def test_rule_registry_is_complete_and_sorted(self):
+        codes = [r.code for r in all_rules()]
+        assert codes == sorted(codes)
+        assert codes == [
+            "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
+        ]
+        with pytest.raises(ValueError):
+            rules_by_code(["RPL999"])
+
+
+# ----------------------------------------------------------------------
+# Suppression contract (RPL000 meta findings)
+# ----------------------------------------------------------------------
+class TestSuppressionContract:
+    @pytest.fixture()
+    def report(self):
+        return lint_fixture("rpl000_cases.py")
+
+    def test_reasonless_suppression_does_not_suppress(self, report):
+        # The directive without ' -- reason' earns an RPL000 *and* leaves
+        # the underlying RPL004 finding standing.
+        meta = [
+            f for f in report.findings
+            if f.code == META_CODE and "no written justification" in f.message
+        ]
+        assert len(meta) == 1
+        assert any(
+            f.code == "RPL004" and f.line == meta[0].line
+            for f in report.findings
+        )
+
+    def test_unused_suppression_is_flagged(self, report):
+        assert any(
+            f.code == META_CODE and "matches no finding" in f.message
+            for f in report.findings
+        )
+
+    def test_malformed_directive_is_flagged(self, report):
+        assert any(
+            f.code == META_CODE and "malformed" in f.message
+            for f in report.findings
+        )
+
+    def test_directive_inside_string_is_ignored(self, report):
+        # The string literal mentioning repro-lint produces neither a
+        # suppression nor a meta finding.
+        in_string = [
+            f for f in report.findings if "not a comment" in f.content
+        ]
+        assert in_string == []
+
+    def test_nothing_suppressed(self, report):
+        assert report.suppressed == 0
+
+
+# ----------------------------------------------------------------------
+# Core helpers
+# ----------------------------------------------------------------------
+class TestImportMap:
+    def resolve(self, source: str, expr: str) -> str | None:
+        tree = ast.parse(source + "\n" + expr)
+        imports = ImportMap(tree)
+        last = tree.body[-1]
+        assert isinstance(last, ast.Expr)
+        return imports.resolve(last.value)
+
+    def test_aliased_module(self):
+        assert (
+            self.resolve("import time as _t", "_t.perf_counter")
+            == "time.perf_counter"
+        )
+
+    def test_from_import_symbol(self):
+        assert (
+            self.resolve("from datetime import datetime", "datetime.now")
+            == "datetime.datetime.now"
+        )
+
+    def test_submodule_attribute_chain(self):
+        assert (
+            self.resolve("import numpy as np", "np.random.exponential")
+            == "numpy.random.exponential"
+        )
+
+    def test_unimported_root_is_none(self):
+        assert self.resolve("import os", "job.random.draw") is None
+
+
+class TestFindingIdentity:
+    def test_identity_ignores_line_numbers(self):
+        a = Finding("p.py", 10, 1, "RPL001", "m", content="x = time.time()")
+        b = Finding("p.py", 99, 5, "RPL001", "m", content="x = time.time()")
+        assert a.identity == b.identity
+
+    def test_format_is_clickable(self):
+        f = Finding("src/m.py", 3, 7, "RPL002", "msg", content="c")
+        assert f.format() == "src/m.py:3:7: RPL002 msg"
+
+
+# ----------------------------------------------------------------------
+# Baseline mechanics
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def findings(self, *contents: str) -> list[Finding]:
+        return [
+            Finding("mod.py", i + 1, 1, "RPL001", "m", content=c)
+            for i, c in enumerate(contents)
+        ]
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = self.findings("a()", "b()")
+        save_baseline(path, findings)
+        loaded = load_baseline(path)
+        assert sum(loaded.values()) == 2
+        assert loaded[BaselineEntry("mod.py", "RPL001", "a()")] == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == Counter()
+
+    def test_unknown_format_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"format_version": 99, "findings": []}')
+        with pytest.raises(ValueError, match="format version"):
+            load_baseline(path)
+
+    def test_split_new_grandfathered_stale(self):
+        findings = self.findings("kept()", "introduced()")
+        baseline = Counter(
+            [
+                BaselineEntry("mod.py", "RPL001", "kept()"),
+                BaselineEntry("mod.py", "RPL001", "fixed()"),
+            ]
+        )
+        new, grandfathered, stale = split_against_baseline(findings, baseline)
+        assert [f.content for f in new] == ["introduced()"]
+        assert [f.content for f in grandfathered] == ["kept()"]
+        assert [e.content for e in stale] == ["fixed()"]
+
+    def test_multiset_duplicates_need_two_entries(self):
+        # Two identical offending lines, one baseline entry: the second
+        # occurrence is new.
+        findings = self.findings("dup()", "dup()")
+        baseline = Counter([BaselineEntry("mod.py", "RPL001", "dup()")])
+        new, grandfathered, stale = split_against_baseline(findings, baseline)
+        assert len(grandfathered) == 1
+        assert len(new) == 1
+        assert stale == []
+
+    def test_baseline_survives_line_drift(self):
+        # Same content on a different line still matches its entry.
+        moved = [Finding("mod.py", 500, 9, "RPL001", "m", content="kept()")]
+        baseline = Counter([BaselineEntry("mod.py", "RPL001", "kept()")])
+        new, grandfathered, stale = split_against_baseline(moved, baseline)
+        assert new == [] and stale == []
+
+
+# ----------------------------------------------------------------------
+# Engine determinism
+# ----------------------------------------------------------------------
+class TestEngineDeterminism:
+    def test_repeat_runs_identical(self):
+        first = lint_fixture("rpl002_cases.py")
+        second = lint_fixture("rpl002_cases.py")
+        assert first.findings == second.findings
+        assert first.as_dict() == second.as_dict()
+
+    def test_findings_sorted_by_location(self):
+        report = run_lint(
+            root=FIXTURES,
+            targets=(".",),
+            baseline=Counter(),
+        )
+        assert report.findings == sorted(report.findings)
+        assert report.files_scanned == len(list(FIXTURES.glob("*.py")))
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestLintCli:
+    def test_fixture_violations_exit_1(self, capsys):
+        rc = main(
+            [
+                "lint",
+                "--root", str(FIXTURES),
+                "--no-baseline",
+                "rpl001_cases.py",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "RPL001" in out
+        assert "5 new finding(s)" in out
+        assert "1 suppressed" in out
+
+    def test_select_restricts_rules(self, capsys):
+        rc = main(
+            [
+                "lint",
+                "--root", str(FIXTURES),
+                "--no-baseline",
+                "--select", "RPL004",
+                "rpl004_cases.py",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "RPL004" in out and "RPL001" not in out
+
+    def test_unknown_select_is_usage_error(self, capsys):
+        rc = main(["lint", "--select", "RPL777"])
+        assert rc == 2
+
+    def test_missing_target_is_usage_error(self, capsys):
+        rc = main(["lint", "--root", str(FIXTURES), "no/such/dir"])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        rc = main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
+                     "RPL006"):
+            assert code in out
+
+    def test_report_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "lint-report.json"
+        rc = main(
+            [
+                "lint",
+                "--root", str(FIXTURES),
+                "--no-baseline",
+                "--report", str(artifact),
+                "rpl006_cases.py",
+            ]
+        )
+        assert rc == 1
+        doc = json.loads(artifact.read_text())
+        assert doc["files_scanned"] == 1
+        assert doc["suppressed"] == 1
+        assert [row["code"] for row in doc["new"]] == ["RPL006"]
+        assert doc["new"][0]["line"] == 14
+
+    def test_baseline_lifecycle(self, tmp_path, capsys):
+        """update -> clean gate -> fix -> stale entry fails --check-baseline."""
+        target = tmp_path / "mod.py"
+        target.write_text("import time\n\nT0 = time.time()\n")
+
+        # A fresh violation fails against the (absent == empty) baseline.
+        argv = ["lint", "--root", str(tmp_path), "mod.py"]
+        assert main(argv) == 1
+
+        # Grandfather it; the gate goes green without touching the code.
+        assert main([*argv, "--update-baseline"]) == 0
+        baseline = json.loads((tmp_path / DEFAULT_BASELINE).read_text())
+        assert [e["code"] for e in baseline["findings"]] == ["RPL001"]
+        assert main([*argv, "--check-baseline"]) == 0
+
+        # Fix the code: the lingering entry is stale — tolerated by a
+        # plain run, fatal under --check-baseline.
+        target.write_text("T0 = 0.0\n")
+        assert main(argv) == 0
+        assert main([*argv, "--check-baseline"]) == 1
+        assert "stale" in capsys.readouterr().out
+
+        # Regenerating empties the baseline and the gate is green again.
+        assert main([*argv, "--update-baseline"]) == 0
+        baseline = json.loads((tmp_path / DEFAULT_BASELINE).read_text())
+        assert baseline["findings"] == []
+        assert main([*argv, "--check-baseline"]) == 0
+
+
+# ----------------------------------------------------------------------
+# Self-check: the live tree matches the committed baseline exactly
+# ----------------------------------------------------------------------
+class TestLiveTreeSelfCheck:
+    def test_live_tree_matches_committed_baseline(self):
+        """The tree the repo ships is lint-clean against LINT_BASELINE.json.
+
+        Zero new findings (no unreviewed violation slipped in) and zero
+        stale entries (every baselined finding still exists) — the exact
+        gate the CI ``static-analysis`` job enforces.
+        """
+        baseline = load_baseline(REPO_ROOT / DEFAULT_BASELINE)
+        report = run_lint(
+            root=REPO_ROOT, targets=DEFAULT_TARGETS, baseline=baseline
+        )
+        assert [f.format() for f in report.new] == []
+        assert [e.format() for e in report.stale] == []
+
+    def test_committed_baseline_is_empty(self):
+        """Every pre-existing finding was fixed or justified inline; keep
+        it that way (grandfather via the baseline only with review)."""
+        baseline = load_baseline(REPO_ROOT / DEFAULT_BASELINE)
+        assert baseline == Counter()
+
+    def test_every_live_suppression_has_a_reason(self):
+        # run_lint already turns reasonless directives into RPL000 meta
+        # findings; assert the live tree has none (belt and braces on top
+        # of the baseline match above).
+        report = run_lint(
+            root=REPO_ROOT, targets=DEFAULT_TARGETS, baseline=Counter()
+        )
+        assert [
+            f.format() for f in report.findings if f.code == META_CODE
+        ] == []
+
+
+# ----------------------------------------------------------------------
+# Regressions for the violations this PR fixed (rather than suppressed)
+# ----------------------------------------------------------------------
+class TestFixedViolationsStayFixed:
+    """Each site fixed for RPL001/RPL002/RPL004 is pinned by linting the
+    exact file: reintroducing the hazard re-creates the finding."""
+
+    @pytest.mark.parametrize(
+        "rel",
+        [
+            # RPL002: wall-seconds summed over sorted keys, not dict order.
+            "src/repro/cli.py",
+            # RPL002: SiA budget summed over sorted frozen-job keys.
+            "src/repro/scheduler/baselines/sia.py",
+            # RPL002: completed_keys from a sorted glob; RPL004: dumps
+            # with allow_nan=False.
+            "src/repro/experiments/store.py",
+            # RPL004: canonical digest payload rejects NaN.
+            "src/repro/experiments/spec.py",
+            # RPL004: trace/result writers reject NaN at the encoder.
+            "src/repro/sim/serialization.py",
+            # RPL004: bench emitter fixed in the examples/benchmarks audit.
+            "benchmarks/bench_sim_speed.py",
+        ],
+    )
+    def test_fixed_file_stays_clean(self, rel):
+        report = run_lint(
+            root=REPO_ROOT, targets=(rel,), baseline=Counter()
+        )
+        assert [f.format() for f in report.new] == []
+
+    def test_run_store_rejects_nan_meta(self, tmp_path):
+        # allow_nan=False is live, not decorative: a NaN that reaches a
+        # raw writer fails loudly instead of emitting non-RFC-8259 JSON.
+        from repro.experiments.store import RunStore
+
+        store = RunStore(tmp_path)
+        store.append_meta({"event": "refit", "gain": 1.5})
+        with pytest.raises(ValueError):
+            store.append_meta({"event": "refit", "gain": float("nan")})
+
+    def test_run_store_completed_keys(self, tmp_path):
+        from repro.experiments.store import RunStore
+
+        store = RunStore(tmp_path)
+        for key in ("b-run", "a-run", "c-run"):
+            store.path_for(key).write_text("{}\n")
+        assert store.completed_keys() == {"a-run", "b-run", "c-run"}
