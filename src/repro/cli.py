@@ -36,11 +36,17 @@ from repro.experiments import (
     SweepSpec,
     aggregate,
     execute_run,
+    format_failure_table,
     format_sweep_table,
     run_sweep,
 )
-from repro.errors import ClusterDynamicsError, WorkloadError
+from repro.errors import ClusterDynamicsError, FaultPlanError, WorkloadError
 from repro.experiments.spec import VARIANTS
+from repro.faults import (
+    NO_FAULTS_NAME,
+    list_fault_plans,
+    resolve_fault_plan,
+)
 from repro.models import get_model
 from repro.oracle import SyntheticTestbed, build_perf_model
 from repro.scheduler.registry import POLICIES
@@ -283,6 +289,11 @@ def cmd_sweep(args) -> int:
     if _bad_dynamics(dynamics):
         return 2
     try:
+        fault_plan = resolve_fault_plan(args.faults)
+    except FaultPlanError as exc:
+        print(str(exc))
+        return 2
+    try:
         spec = SweepSpec(
             policies=policies,
             seeds=_csv(args.seeds, int),
@@ -313,12 +324,20 @@ def cmd_sweep(args) -> int:
         f"{len(spec.large_model_factors)} model mixes), "
         f"workers={args.workers}, out={args.out}"
     )
+    if fault_plan.rules:
+        print(
+            f"fault plan: {fault_plan.name} (digest {fault_plan.digest}) — "
+            f"{fault_plan.describe()}"
+        )
     outcome = run_sweep(
         spec,
         out_dir=args.out,
         workers=args.workers,
         resume=args.resume,
         log=print,
+        fault_plan=fault_plan,
+        max_attempts=args.max_attempts,
+        run_timeout=args.run_timeout,
     )
     print()
     print(
@@ -340,6 +359,51 @@ def cmd_sweep(args) -> int:
         f"{outcome.total_wall:.1f}s wall "
         f"({run_time:.1f}s of simulation across {outcome.workers} workers)"
     )
+    if outcome.failures:
+        # Degraded completion: the grid finished, but some runs exhausted
+        # their retries and were quarantined.  Exit 3 distinguishes this
+        # from success (0), usage errors (2), and hard failures (raised
+        # exceptions) so CI chaos jobs can assert the exact outcome.
+        print()
+        print(format_failure_table(outcome.failures))
+        print(
+            f"\n{len(outcome.failures)} run(s) quarantined under "
+            f"{args.out}/failures/ (re-run with --resume to retry them)"
+        )
+        return 3
+    return 0
+
+
+def cmd_faults_list(args) -> int:
+    rows = [
+        (name, len(plan.rules), plan.digest, plan.description)
+        for name, plan in list_fault_plans()
+    ]
+    print(
+        format_table(
+            ["plan", "rules", "digest", "description"],
+            rows,
+            title="registered fault plans (plus file:<plan.json>)",
+        )
+    )
+    return 0
+
+
+def cmd_faults_show(args) -> int:
+    try:
+        plan = resolve_fault_plan(args.name)
+    except FaultPlanError as exc:
+        print(str(exc))
+        return 2
+    rows = [
+        ("name", plan.name),
+        ("description", plan.description or "-"),
+        ("digest", plan.digest),
+    ]
+    for i, rule in enumerate(plan.rules):
+        rows.append((f"rule[{i}]", rule.describe()))
+    print(format_table(["field", "value"], rows,
+                       title=f"fault plan {plan.name}"))
     return 0
 
 
@@ -536,7 +600,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="results directory (JSONL per run)")
     p.add_argument("--resume", action="store_true",
                    help="skip runs whose result is already on disk")
+    p.add_argument("--faults", default=NO_FAULTS_NAME,
+                   help="fault plan to inject (name or file:<plan.json>; "
+                        "see `repro faults list`)")
+    p.add_argument("--max-attempts", type=int, default=2,
+                   help="per-run attempt budget before quarantine")
+    p.add_argument("--run-timeout", type=float, default=None,
+                   help="per-run wall-clock budget in seconds "
+                        "(default: unlimited)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "faults", help="list and inspect fault-injection plans"
+    )
+    fsub = p.add_subparsers(dest="faults_command", required=True)
+
+    f = fsub.add_parser("list", help="table of registered fault plans")
+    f.set_defaults(func=cmd_faults_list)
+
+    f = fsub.add_parser("show", help="rules of one fault plan")
+    f.add_argument("name", help="plan name or file:<plan.json>")
+    f.set_defaults(func=cmd_faults_show)
 
     p = sub.add_parser(
         "workload", help="list, inspect and materialize workload scenarios"

@@ -62,7 +62,16 @@ class TraceAdapterError(WorkloadError):
 
 
 class SimulationError(ReproError):
-    """The discrete-time simulator reached an inconsistent state."""
+    """The discrete-time simulator reached an inconsistent state.
+
+    Carries the run's incident stream (when one exists) so a hard failure
+    still surfaces every contained fault that preceded it — the sweep
+    runner persists them in the quarantine record.
+    """
+
+    def __init__(self, message: str, *, incidents: tuple = ()):
+        super().__init__(message)
+        self.incidents = tuple(incidents)
 
 
 class ClusterDynamicsError(ReproError):
@@ -72,3 +81,55 @@ class ClusterDynamicsError(ReproError):
     node id, a ``recover`` event for a node that was never part of the
     cluster, or a malformed ``file:<path>`` event document.
     """
+
+
+class FaultPlanError(ReproError):
+    """A fault plan is invalid or cannot be resolved.
+
+    Examples: an unknown plan or seam name, a rule with non-positive
+    occurrence indices, or a malformed ``file:<path>`` plan document.
+    """
+
+
+class InjectedFault(ReproError):
+    """A failure raised on purpose by the fault-injection harness.
+
+    Deterministic by construction: the message is a pure function of
+    (plan, seam, occurrence), so quarantine records and incident streams
+    built from injected faults are byte-stable across invocations.
+    """
+
+    def __init__(self, message: str, *, seam: str = "", occurrence: int = 0):
+        super().__init__(message)
+        self.seam = seam
+        self.occurrence = occurrence
+
+
+class InjectedCrash(InjectedFault):
+    """An injected mid-run worker death (the ``worker-crash`` seam)."""
+
+
+class InjectedHang(InjectedFault):
+    """An injected worker hang (the ``worker-hang`` seam).
+
+    Raised in place of an actual indefinite sleep so chaos tests stay
+    fast; the sweep runner classifies it exactly like a run timeout.
+    """
+
+
+class RunTimeoutError(ReproError):
+    """A sweep run exceeded its per-run wall-clock budget."""
+
+
+class CorruptRunRecordError(ReproError):
+    """A persisted run record is unreadable (truncated line, bad JSON,
+    or format-version drift).
+
+    The message deliberately names only the run key, never the absolute
+    path: it ends up in quarantine records, which must be byte-identical
+    across output directories.
+    """
+
+    def __init__(self, message: str, *, run_key: str = ""):
+        super().__init__(message)
+        self.run_key = run_key

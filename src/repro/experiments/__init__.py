@@ -10,6 +10,7 @@ from repro.experiments.aggregate import (
     CellStats,
     SeedStats,
     aggregate,
+    format_failure_table,
     format_sweep_table,
 )
 from repro.experiments.runner import (
@@ -36,6 +37,7 @@ __all__ = [
     "build_trace",
     "default_tenants",
     "execute_run",
+    "format_failure_table",
     "format_sweep_table",
     "run_sweep",
 ]

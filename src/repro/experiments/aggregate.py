@@ -177,3 +177,31 @@ def format_sweep_table(
     if perf is not None:
         table = f"{table}\n{perf_footer(perf)}"
     return table
+
+
+def format_failure_table(failures: dict[str, dict]) -> str:
+    """Render a sweep's quarantined runs (``SweepOutcome.failures``).
+
+    One row per poisoned run: its key, how many attempts were burned, and
+    the final attempt's error class and message — enough to decide between
+    re-running and digging into the ``failures/<run_key>.json`` record.
+    """
+    rows = []
+    for key in sorted(failures):
+        doc = failures[key]
+        message = doc.get("message", "")
+        if len(message) > 60:
+            message = message[:57] + "..."
+        rows.append(
+            (
+                key,
+                len(doc.get("attempts", ())),
+                doc.get("error", ""),
+                message,
+            )
+        )
+    return format_table(
+        ["run", "attempts", "error", "message"],
+        rows,
+        title="quarantined runs",
+    )

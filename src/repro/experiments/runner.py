@@ -10,24 +10,43 @@ Determinism: a run's result depends only on its RunSpec (trace generation,
 the testbed, and the simulator are all seeded from it), so a ``--workers N``
 sweep produces byte-identical run files to a serial one — enforced by
 ``tests/test_experiments.py``.
+
+Robustness: each run executes under a guard (``_guarded_run``) that adds a
+per-run wall-clock timeout, bounded deterministic retries with a recorded
+attempt history, and poison-run quarantine — a run that exhausts its
+retries becomes a persisted failure record under ``failures/`` instead of
+aborting the sweep.  Run-key leases make a re-dispatched run exactly-once,
+and stale atomic-publish temp files are collected at sweep start/end.
+Fault plans (``repro.faults``) thread a per-run injector through every
+layer; the empty plan takes the pre-harness code path bit for bit.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import signal
+import threading
 import time
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 
 from repro.cluster.dynamics import resolve_dynamics
+from repro.errors import CorruptRunRecordError, RunTimeoutError
 from repro.experiments.spec import RunSpec, SweepSpec
-from repro.experiments.store import RunStore
+from repro.experiments.store import RunStore, build_failure_doc
+from repro.faults import FaultPlan, incident_payload
 from repro.oracle.testbed import SyntheticTestbed
 from repro.scheduler.interfaces import SchedulerPolicy, Tenant
 from repro.scheduler.registry import make_policy
 from repro.sim.engine import Simulator
 from repro.sim.metrics import SimulationResult
-from repro.sim.serialization import load_trace, result_from_dict, result_to_dict
+from repro.sim.serialization import (
+    incident_to_dict,
+    load_trace,
+    result_from_dict,
+    result_to_dict,
+)
 from repro.sim.trace import Trace
 from repro.sim.workload import (
     generate_trace,
@@ -159,9 +178,18 @@ class RunExecution:
     wall_seconds: float
 
 
-def execute_run(run: RunSpec) -> RunExecution:
-    """Build everything from the spec and replay the trace once."""
+def execute_run(run: RunSpec, *, injector=None) -> RunExecution:
+    """Build everything from the spec and replay the trace once.
+
+    ``injector`` (a per-run :class:`~repro.faults.FaultInjector`) arms the
+    worker-level seams: ``worker-hang``/``worker-crash`` model a sweep
+    worker dying or stalling mid-run, ``trace-build`` a trace-adapter
+    failure.  ``None`` (the default) is the zero-fault fast path.
+    """
     start = time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
+    if injector is not None:
+        injector.check("worker-hang")
+        injector.check("trace-build")
     trace = build_trace(run)
     policy = make_policy(run.policy)
     cluster = run.cluster
@@ -170,7 +198,10 @@ def execute_run(run: RunSpec) -> RunExecution:
         policy,
         testbed=SyntheticTestbed(cluster, seed=run.seed),
         seed=run.seed,
+        injector=injector,
     )
+    if injector is not None:
+        injector.check("worker-crash")
     result = sim.run(
         trace,
         tenants=default_tenants(run),
@@ -205,14 +236,109 @@ def run_perf(execution: RunExecution) -> dict[str, float]:
     }
 
 
-def _pool_run(args: tuple[RunSpec, str | None]):
+@contextmanager
+def _alarm(seconds: float | None):
+    """Bound a block's wall clock with SIGALRM (no-op where unavailable).
+
+    Falls back to unbounded execution when no budget is set, on platforms
+    without ``SIGALRM``, or off the main thread (signal handlers can only
+    be installed there).
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeoutError(
+            f"run exceeded its {seconds:g}s wall-clock budget"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _guarded_run(
+    run: RunSpec,
+    store: RunStore | None,
+    plan: FaultPlan | None,
+    max_attempts: int,
+    run_timeout: float | None,
+):
+    """Execute one run with timeout, bounded retries, and quarantine.
+
+    Returns ``(status, execution, failure_doc)`` where status is one of
+    ``"ok"`` (executed and persisted), ``"failed"`` (retries exhausted —
+    ``failure_doc`` is the quarantine record), or ``"leased"`` (a live
+    other process holds the run's lease; nothing was executed).
+
+    The injector is created once per *run*, not per attempt: seam
+    occurrence counts accumulate across retries, so a transient rule
+    (``times=(1,)``) fires once and the retry recovers.
+    """
+    if store is not None and not store.acquire_lease(run.run_key):
+        return "leased", None, None
+    try:
+        injector = plan.injector(run.run_key) if plan is not None else None
+        attempts: list[dict] = []
+        for attempt in range(1, max(1, max_attempts) + 1):
+            try:
+                with _alarm(run_timeout):
+                    execution = execute_run(run, injector=injector)
+                if store is not None:
+                    store.save(run, execution.result, injector=injector)
+                    if injector is not None:
+                        # Read-back verification: a torn write (the
+                        # store-record seam, or a real partial write)
+                        # surfaces here as a failed attempt, not later as
+                        # a poisoned --resume.
+                        store.load_record(run.run_key)
+                    store.clear_failure(run.run_key)
+                return "ok", execution, None
+            except Exception as exc:
+                entry = {"attempt": attempt, **incident_payload(exc)}
+                if getattr(exc, "incidents", ()):
+                    # A hard simulation failure carries the contained
+                    # incidents that preceded it — quarantine keeps them.
+                    entry["incidents"] = [
+                        incident_to_dict(i) for i in exc.incidents
+                    ]
+                attempts.append(entry)
+                if store is not None and isinstance(
+                    exc, CorruptRunRecordError
+                ):
+                    store.quarantine_record(run.run_key)
+        if store is not None:
+            doc = store.save_failure(run, attempts)
+        else:
+            doc = build_failure_doc(run, attempts)
+        return "failed", None, doc
+    finally:
+        if store is not None:
+            store.release_lease(run.run_key)
+
+
+def _pool_run(args):
     """Top-level worker body (must be importable under spawn)."""
-    run, out_dir = args
-    execution = execute_run(run)
-    if out_dir is not None:
-        RunStore(out_dir).save(run, execution.result)
-        return run.run_key, run_perf(execution), None
-    return run.run_key, run_perf(execution), result_to_dict(execution.result)
+    run, out_dir, plan, max_attempts, run_timeout = args
+    store = RunStore(out_dir) if out_dir is not None else None
+    status, execution, failure = _guarded_run(
+        run, store, plan, max_attempts, run_timeout
+    )
+    if status != "ok":
+        return run.run_key, status, None, None, failure
+    payload = (
+        None if out_dir is not None else result_to_dict(execution.result)
+    )
+    return run.run_key, status, run_perf(execution), payload, None
 
 
 @dataclass
@@ -227,6 +353,8 @@ class SweepOutcome:
     perf: dict[str, dict[str, float]] = field(default_factory=dict)
     #: Run keys skipped because ``--resume`` found them already on disk.
     skipped: tuple[str, ...] = ()
+    #: Quarantine records of runs that exhausted their retries, by key.
+    failures: dict[str, dict] = field(default_factory=dict)
     total_wall: float = 0.0
     workers: int = 1
 
@@ -264,6 +392,9 @@ def run_sweep(
     workers: int = 1,
     resume: bool = False,
     log=None,
+    fault_plan: FaultPlan | None = None,
+    max_attempts: int = 2,
+    run_timeout: float | None = None,
 ) -> SweepOutcome:
     """Execute a sweep grid, optionally in parallel and/or persisted.
 
@@ -272,7 +403,16 @@ def run_sweep(
       sweep is in-memory only (benchmarks).
     * ``workers`` — number of spawn-context worker processes; ``1`` runs
       in-process (and is what ``workers > 1`` must be byte-identical to).
-    * ``resume`` — skip runs whose key already has a result on disk.
+    * ``resume`` — skip runs whose key already has a *loadable* result on
+      disk; an unreadable record is quarantined to a ``.corrupt`` sidecar
+      and the run re-executes.
+    * ``fault_plan`` — a :class:`~repro.faults.FaultPlan` arming the
+      injection seams (``None``/empty = zero faults, the fast path).
+    * ``max_attempts`` — per-run attempt budget; a run that fails every
+      attempt is quarantined under ``failures/`` instead of aborting the
+      sweep.
+    * ``run_timeout`` — per-run wall-clock budget in seconds (classified
+      and retried like any other failure).
     """
     started = time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
     if isinstance(spec, SweepSpec):
@@ -282,19 +422,35 @@ def run_sweep(
     keys = [run.run_key for run in runs]
     if len(set(keys)) != len(keys):
         raise ValueError("sweep grid contains duplicate run keys")
+    if fault_plan is not None and not fault_plan.rules:
+        fault_plan = None
 
     store = RunStore(out_dir) if out_dir is not None else None
     if store is not None and isinstance(spec, SweepSpec):
         store.write_spec(spec)
 
-    already_done: set[str] = set()
-    if store is not None and resume:
-        already_done = store.completed_keys() & set(keys)
-    todo = [run for run in runs if run.run_key not in already_done]
-
     def say(message: str) -> None:
         if log is not None:
             log(message)
+
+    if store is not None:
+        removed = store.gc_stale_tmp()
+        if removed:
+            say(f"gc: removed {len(removed)} stale temp file(s)")
+
+    already_done: set[str] = set()
+    if store is not None and resume:
+        # Trust nothing: every present record must load before its run is
+        # skipped.  A truncated/corrupt one moves aside and re-executes.
+        for key in sorted(store.completed_keys() & set(keys)):
+            try:
+                store.load_record(key)
+            except CorruptRunRecordError as exc:
+                store.quarantine_record(key)
+                say(f"resume: quarantined corrupt record ({exc})")
+                continue
+            already_done.add(key)
+    todo = [run for run in runs if run.run_key not in already_done]
 
     outcome = SweepOutcome(
         runs=runs, skipped=tuple(k for k in keys if k in already_done),
@@ -303,11 +459,24 @@ def run_sweep(
     if outcome.skipped:
         say(f"resume: {len(outcome.skipped)}/{len(runs)} runs already on disk")
 
+    leased: set[str] = set()
     if workers <= 1 or len(todo) <= 1:
         for run in todo:
-            execution = execute_run(run)
-            if store is not None:
-                store.save(run, execution.result)
+            status, execution, failure = _guarded_run(
+                run, store, fault_plan, max_attempts, run_timeout
+            )
+            if status == "leased":
+                leased.add(run.run_key)
+                say(f"leased elsewhere, skipping {run.run_key}")
+                continue
+            if status == "failed":
+                outcome.failures[run.run_key] = failure
+                say(
+                    f"quarantined {run.run_key} after "
+                    f"{len(failure['attempts'])} attempt(s): "
+                    f"{failure['error']}"
+                )
+                continue
             outcome.results[run.run_key] = execution.result
             outcome.wall_seconds[run.run_key] = execution.wall_seconds
             outcome.perf[run.run_key] = run_perf(execution)
@@ -323,11 +492,26 @@ def run_sweep(
         processes = min(workers, len(todo))
         group = min(Counter(map(_trace_memo_key, ordered)).values())
         chunk = max(1, min(-(-len(ordered) // processes), group))
-        jobs = [(run, out_dir) for run in ordered]
+        jobs = [
+            (run, out_dir, fault_plan, max_attempts, run_timeout)
+            for run in ordered
+        ]
         with ctx.Pool(processes=processes) as pool:
-            for key, perf, payload in pool.imap_unordered(
+            for key, status, perf, payload, failure in pool.imap_unordered(
                 _pool_run, jobs, chunksize=chunk
             ):
+                if status == "leased":
+                    leased.add(key)
+                    say(f"leased elsewhere, skipping {key}")
+                    continue
+                if status == "failed":
+                    outcome.failures[key] = failure
+                    say(
+                        f"quarantined {key} after "
+                        f"{len(failure['attempts'])} attempt(s): "
+                        f"{failure['error']}"
+                    )
+                    continue
                 outcome.wall_seconds[key] = perf["wall_seconds"]
                 outcome.perf[key] = perf
                 if payload is not None:
@@ -335,7 +519,11 @@ def run_sweep(
                 say(f"done {key} ({perf['wall_seconds']:.1f}s)")
         if store is not None:
             for run in todo:
-                if run.run_key not in outcome.results:
+                if (
+                    run.run_key not in outcome.results
+                    and run.run_key not in outcome.failures
+                    and run.run_key not in leased
+                ):
                     outcome.results[run.run_key] = store.load_result(
                         run.run_key
                     )
@@ -344,24 +532,29 @@ def run_sweep(
     if store is not None:
         for key in outcome.skipped:
             outcome.results[key] = store.load_result(key)
+        store.gc_stale_tmp()
 
     outcome.total_wall = time.perf_counter() - started  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
     if store is not None:
-        store.append_meta(
-            {
-                "workers": outcome.workers,
-                "requested_runs": len(runs),
-                "executed_runs": len(todo),
-                "skipped_runs": len(outcome.skipped),
-                "total_wall_seconds": round(outcome.total_wall, 3),
-                "run_wall_seconds": {
-                    k: round(v, 3)
-                    for k, v in sorted(outcome.wall_seconds.items())
-                },
-                "run_perf": {
-                    k: {m: round(v, 4) for m, v in row.items()}
-                    for k, row in sorted(outcome.perf.items())
-                },
-            }
-        )
+        meta = {
+            "workers": outcome.workers,
+            "requested_runs": len(runs),
+            "executed_runs": len(todo),
+            "skipped_runs": len(outcome.skipped),
+            "total_wall_seconds": round(outcome.total_wall, 3),
+            "run_wall_seconds": {
+                k: round(v, 3)
+                for k, v in sorted(outcome.wall_seconds.items())
+            },
+            "run_perf": {
+                k: {m: round(v, 4) for m, v in row.items()}
+                for k, row in sorted(outcome.perf.items())
+            },
+        }
+        if outcome.failures:
+            meta["failed_runs"] = len(outcome.failures)
+        if fault_plan is not None:
+            meta["fault_plan"] = fault_plan.name
+            meta["fault_plan_digest"] = fault_plan.digest
+        store.append_meta(meta)
     return outcome

@@ -1,0 +1,54 @@
+"""Seeded, deterministic fault injection (the robustness harness).
+
+``FaultPlan`` + ``FaultInjector`` describe and fire failures at named
+seams across the stack; the sweep runner, run store and simulator expose
+those seams and contain the damage (retries, quarantine, incidents).
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    incident_payload,
+    traceback_digest,
+)
+from repro.faults.plan import (
+    FILE_PREFIX,
+    NO_FAULTS,
+    NO_FAULTS_NAME,
+    PLAN_FORMAT_VERSION,
+    SEAMS,
+    FaultPlan,
+    FaultRule,
+    fault_plan_from_dict,
+    fault_plan_to_dict,
+    fault_rule_from_dict,
+    fault_rule_to_dict,
+    known_fault_plan_names,
+    list_fault_plans,
+    load_fault_plan,
+    register_fault_plan,
+    resolve_fault_plan,
+    save_fault_plan,
+)
+
+__all__ = [
+    "FILE_PREFIX",
+    "NO_FAULTS",
+    "NO_FAULTS_NAME",
+    "PLAN_FORMAT_VERSION",
+    "SEAMS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "fault_plan_from_dict",
+    "fault_plan_to_dict",
+    "fault_rule_from_dict",
+    "fault_rule_to_dict",
+    "incident_payload",
+    "known_fault_plan_names",
+    "list_fault_plans",
+    "load_fault_plan",
+    "register_fault_plan",
+    "resolve_fault_plan",
+    "save_fault_plan",
+    "traceback_digest",
+]

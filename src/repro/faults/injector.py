@@ -1,0 +1,104 @@
+"""Per-run fault injection and deterministic error payloads.
+
+A :class:`FaultInjector` is created once per run (by the sweep runner) and
+threaded through every instrumented layer.  Each seam call site does one
+of two things:
+
+* ``injector.check(seam)`` — count the invocation and raise when a plan
+  rule matches (``worker-crash`` → :class:`InjectedCrash`, ``worker-hang``
+  → :class:`InjectedHang`, everything else → :class:`InjectedFault`);
+* ``injector.mangle(seam, text)`` — count the invocation and return a
+  corrupted payload when a rule matches (used by the ``store-record``
+  seam to emit a torn, truncated run document).
+
+Occurrence counters live on the injector, not the attempt, so a rule with
+``times=(1,)`` fires on attempt 1 and the retry sails through — the
+harness models transient faults without any randomness.
+
+The module also owns the deterministic error-payload helpers shared by
+quarantine records and incident streams: :func:`traceback_digest` hashes
+only stable frame coordinates (file basename, function, line), never
+memory addresses or absolute paths, and :func:`incident_payload` turns an
+exception into a JSON-stable dict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import traceback
+from collections import Counter
+from typing import Any
+
+from repro.errors import InjectedCrash, InjectedFault, InjectedHang
+from repro.faults.plan import FaultPlan
+
+
+def traceback_digest(exc: BaseException) -> str:
+    """A short, deterministic fingerprint of an exception's traceback.
+
+    Hashes the exception type plus the ``basename:function:lineno`` chain
+    of its traceback frames — stable across processes, output directories
+    and repeated invocations (unlike the formatted traceback, which embeds
+    absolute paths).
+    """
+    parts = [type(exc).__name__]
+    for frame in traceback.extract_tb(exc.__traceback__):
+        name = frame.filename.replace("\\", "/").rsplit("/", 1)[-1]
+        parts.append(f"{name}:{frame.name}:{frame.lineno}")
+    payload = "|".join(parts)
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def incident_payload(exc: BaseException) -> dict[str, Any]:
+    """The JSON-stable error payload shared by incidents and quarantine."""
+    return {
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "traceback_digest": traceback_digest(exc),
+    }
+
+
+class FaultInjector:
+    """Counts seam invocations for one run and fires matching rules."""
+
+    def __init__(self, plan: FaultPlan, run_key: str):
+        self.plan = plan
+        self.run_key = run_key
+        self._counts: Counter[str] = Counter()
+
+    def _bump(self, seam: str) -> int:
+        self._counts[seam] += 1
+        return self._counts[seam]
+
+    def _matching(self, seam: str, occurrence: int):
+        for rule in self.plan.rules:
+            if rule.seam == seam and rule.matches(self.run_key, occurrence):
+                return rule
+        return None
+
+    def check(self, seam: str) -> None:
+        """Count one invocation of ``seam``; raise if a rule matches."""
+        occurrence = self._bump(seam)
+        rule = self._matching(seam, occurrence)
+        if rule is None:
+            return
+        message = (
+            f"injected fault: seam={seam} occurrence={occurrence} "
+            f"plan={self.plan.name}"
+        )
+        if seam == "worker-crash":
+            raise InjectedCrash(message, seam=seam, occurrence=occurrence)
+        if seam == "worker-hang":
+            raise InjectedHang(message, seam=seam, occurrence=occurrence)
+        raise InjectedFault(message, seam=seam, occurrence=occurrence)
+
+    def mangle(self, seam: str, text: str) -> str:
+        """Count one invocation of ``seam``; corrupt ``text`` on a match.
+
+        Corruption is a deterministic truncation to half length — the torn
+        write a crashed ``write_text`` would leave behind.
+        """
+        occurrence = self._bump(seam)
+        if self._matching(seam, occurrence) is None:
+            return text
+        return text[: max(1, len(text) // 2)]

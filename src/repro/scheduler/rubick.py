@@ -363,7 +363,9 @@ class RubickPolicy(SchedulerPolicy):
             value = perf.throughput(
                 job.spec.initial_plan, shape, job.spec.global_batch
             )
-        except Exception:
+        except (ValueError, ZeroDivisionError):
+            # Degenerate shape or zero predicted iter time: score the job
+            # with a neutral baseline rather than blocking the round.
             value = 1.0
         job.baseline_pred_cache = (version, value)
         return value

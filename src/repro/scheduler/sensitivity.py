@@ -224,7 +224,9 @@ class SensitivityAnalyzer:
             baseline_thr = perf.throughput(
                 spec.initial_plan, baseline_shape, spec.global_batch
             )
-        except Exception:
+        except (ValueError, ZeroDivisionError):
+            # Unpredictable baseline (degenerate shape/iter time): callers
+            # fall back to the original request and plan.
             return None
         space = self.plan_space_fn(job.model)
         for gpus in range(1, requested.gpus + 1):

@@ -46,7 +46,13 @@ from repro.cluster.placement import Placement
 from repro.cluster.resources import ResourceVector
 from repro.cluster.state import Cluster
 from repro.cluster.topology import ClusterSpec
-from repro.errors import OutOfMemoryError, SimulationError
+from repro.errors import (
+    FittingError,
+    InjectedFault,
+    OutOfMemoryError,
+    SimulationError,
+)
+from repro.faults.injector import incident_payload
 from repro.oracle.profiler import build_perf_model, profiling_cost_seconds
 from repro.oracle.testbed import SyntheticTestbed
 from repro.perfmodel.shape import ResourceShape
@@ -61,7 +67,7 @@ from repro.scheduler.interfaces import (
 )
 from repro.scheduler.job import Job, JobSpec, JobStatus
 from repro.sim.events import EventCalendar
-from repro.sim.metrics import JobRecord, SimulationResult
+from repro.sim.metrics import Incident, JobRecord, SimulationResult
 from repro.sim.trace import Trace
 
 _EPS = 1e-6
@@ -88,6 +94,8 @@ class Simulator:
         checkpoint_interval: float = 1800.0,
         scale_mode: bool = False,
         result_record_limit: int | None = None,
+        injector=None,
+        max_policy_incidents: int = 3,
     ):
         self.cluster_spec = cluster_spec
         self.policy = policy
@@ -137,6 +145,18 @@ class Simulator:
         #: 100k-job result is a bounded sample plus exact streamed
         #: aggregates rather than 100k live record objects.
         self.result_record_limit = result_record_limit
+        #: Optional :class:`repro.faults.FaultInjector` arming the
+        #: simulator-level seams (``policy-round``, ``perfmodel-fit``).
+        #: ``None`` — the default — is the zero-fault path, byte-identical
+        #: to the pre-harness simulator.
+        self.injector = injector
+        #: A policy exception mid-round is *contained*: placements hold for
+        #: the round and a structured :class:`Incident` lands on the
+        #: result.  After this many CONSECUTIVE policy failures the run
+        #: escalates to a hard :class:`SimulationError` (carrying the
+        #: incident stream) — a policy that never recovers must not spin
+        #: forever.
+        self.max_policy_incidents = max_policy_incidents
         #: Memoized ground-truth scorer shared between the plan engine and
         #: the per-round configuration re-scoring in :meth:`_apply`.
         self.scorer = TestbedScorer(self.testbed)
@@ -157,15 +177,72 @@ class Simulator:
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
-    def _profile_models(self, trace: Trace) -> float:
-        """Fit a performance model per model type (paper phase ①)."""
+    def _record_incident(
+        self,
+        result: SimulationResult,
+        kind: str,
+        now: float,
+        *,
+        job_ids: tuple[str, ...] = (),
+        exc: BaseException | None = None,
+        message: str = "",
+    ) -> None:
+        """Append one structured, deterministic incident to the result."""
+        payload = incident_payload(exc) if exc is not None else {}
+        result.incidents.append(
+            Incident(
+                kind=kind,
+                round=result.sim_rounds,
+                time=now,
+                job_ids=job_ids,
+                error=payload.get("error", ""),
+                message=message or payload.get("message", ""),
+                traceback_digest=payload.get("traceback_digest", ""),
+            )
+        )
+
+    def _fit_model(self, tj):
+        """One model fit, with the ``perfmodel-fit`` seam armed."""
+        if self.injector is not None:
+            self.injector.check("perfmodel-fit")
+        perf, _ = build_perf_model(
+            self.testbed, tj.model, tj.model.global_batch_size,
+            seed=self.seed,
+        )
+        return perf
+
+    def _profile_models(
+        self, trace: Trace, result: SimulationResult | None = None
+    ) -> float:
+        """Fit a performance model per model type (paper phase ①).
+
+        A fit failure (a real :class:`FittingError` or the injected
+        ``perfmodel-fit`` seam) is retried once with an incident recorded;
+        a second failure for the same model escalates to a hard
+        :class:`SimulationError` carrying the incident stream.
+        """
         count = 0
         for tj in trace:
             if not self.perf_store.has(tj.model):
-                perf, _ = build_perf_model(
-                    self.testbed, tj.model, tj.model.global_batch_size,
-                    seed=self.seed,
-                )
+                try:
+                    perf = self._fit_model(tj)
+                except (FittingError, InjectedFault) as exc:
+                    if result is not None:
+                        self._record_incident(
+                            result, "perfmodel-fit-error", 0.0, exc=exc
+                        )
+                    try:
+                        perf = self._fit_model(tj)
+                    except (FittingError, InjectedFault) as exc2:
+                        incidents = (
+                            tuple(result.incidents) if result is not None
+                            else ()
+                        )
+                        raise SimulationError(
+                            f"performance-model fitting failed twice for "
+                            f"model {tj.model.name!r}: {exc2}",
+                            incidents=incidents,
+                        ) from exc2
                 self.perf_store.add(perf)
                 if self.online_refitter is not None:
                     from repro.oracle.profiler import (
@@ -269,7 +346,14 @@ class Simulator:
                 trace, tenants=tenants, cluster_events=cluster_events
             )
         wall_start = _time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
-        profiling_seconds = self._profile_models(trace)
+        # The result exists before profiling so fit failures can land
+        # incidents on it (and escalation can carry them).
+        result = SimulationResult(
+            policy_name=self.policy.name,
+            trace_name=trace.name,
+            max_records=self.result_record_limit,
+        )
+        result.profiling_seconds = self._profile_models(trace, result)
         cluster = Cluster(self.cluster_spec)
         calendar = EventCalendar(
             trace.jobs, self.tick_interval,
@@ -279,12 +363,6 @@ class Simulator:
         #: pre-PR `[j for j in jobs.values() if j.is_active]` rebuild had.
         active: dict[str, Job] = {}
         gpu_seconds: dict[str, float] = {}
-        result = SimulationResult(
-            policy_name=self.policy.name,
-            trace_name=trace.name,
-            profiling_seconds=profiling_seconds,
-            max_records=self.result_record_limit,
-        )
         ctx = SchedulingContext(
             cluster_spec=self.cluster_spec,
             perf_store=self.perf_store,
@@ -298,6 +376,8 @@ class Simulator:
         steady = False
         now = calendar.first_arrival_time(default=0.0)
         idle_rounds = 0
+        #: Consecutive contained policy failures (reset on any success).
+        policy_failures = 0
         seq = 0
         while True:
             # --- admit arrivals at `now` -------------------------------
@@ -364,12 +444,41 @@ class Simulator:
             else:
                 ctx.now = now
                 wall = _time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
-                allocations = self.policy.schedule(active_list, cluster, ctx)
+                try:
+                    if self.injector is not None:
+                        self.injector.check("policy-round")
+                    allocations = self.policy.schedule(
+                        active_list, cluster, ctx
+                    )
+                except Exception as exc:
+                    # Containment: current placements hold for the round, a
+                    # structured incident lands on the result, and only N
+                    # consecutive failures escalate to a hard error.
+                    result.policy_wall_seconds += _time.perf_counter() - wall  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
+                    result.policy_invocations += 1
+                    policy_failures += 1
+                    self._record_incident(
+                        result, "policy-error", now,
+                        job_ids=tuple(j.job_id for j in active_list[:5]),
+                        exc=exc,
+                    )
+                    if policy_failures >= self.max_policy_incidents:
+                        raise SimulationError(
+                            f"policy {self.policy.name!r} failed "
+                            f"{policy_failures} consecutive rounds",
+                            incidents=tuple(result.incidents),
+                        ) from exc
+                    steady = False
+                    next_time = calendar.next_event_time(now, active_list)
+                    self._advance(now, next_time, active_list, gpu_seconds)
+                    now = next_time
+                    continue
                 result.policy_wall_seconds += _time.perf_counter() - wall  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
                 result.policy_invocations += 1
+                policy_failures = 0
                 changed = self._apply(
                     allocations, active_list, cluster, now, calendar,
-                    diff=fast,
+                    diff=fast, result=result,
                 )
                 # The next rounds may skip the policy only if: the fast path
                 # is on; models cannot refit (refit observations happen in
@@ -402,10 +511,22 @@ class Simulator:
                     idle_rounds += 1
                     if idle_rounds > 3:
                         stuck = ", ".join(j.job_id for j in active_list[:5])
-                        raise SimulationError(
+                        message = (
                             f"policy {self.policy.name!r} cannot place "
                             f"remaining jobs ({stuck} ...) on an empty "
                             f"cluster"
+                        )
+                        # The watchdog reports through the same incident
+                        # stream as contained faults before escalating.
+                        self._record_incident(
+                            result, "deadlock", now,
+                            job_ids=tuple(
+                                j.job_id for j in active_list[:5]
+                            ),
+                            message=message,
+                        )
+                        raise SimulationError(
+                            message, incidents=tuple(result.incidents)
                         )
                 else:
                     idle_rounds = 0
@@ -454,7 +575,12 @@ class Simulator:
           scheduling tractable.
         """
         wall_start = _time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
-        profiling_seconds = self._profile_models(trace)
+        result = SimulationResult(
+            policy_name=self.policy.name,
+            trace_name=trace.name,
+            max_records=self.result_record_limit,
+        )
+        result.profiling_seconds = self._profile_models(trace, result)
         cluster = Cluster(self.cluster_spec)
         calendar = EventCalendar(
             trace.jobs, self.tick_interval,
@@ -462,12 +588,6 @@ class Simulator:
         )
         active: dict[str, Job] = {}
         gpu_seconds: dict[str, float] = {}
-        result = SimulationResult(
-            policy_name=self.policy.name,
-            trace_name=trace.name,
-            profiling_seconds=profiling_seconds,
-            max_records=self.result_record_limit,
-        )
         ctx = SchedulingContext(
             cluster_spec=self.cluster_spec,
             perf_store=self.perf_store,
@@ -482,6 +602,8 @@ class Simulator:
         #: Anything the policy's decision depends on changed since it last
         #: ran (arrival, completion, cluster event).
         dirty = False
+        #: Consecutive contained policy failures (reset on any success).
+        policy_failures = 0
         seq = 0
         # Bound-method/attribute hoists: the loop below runs once per event
         # (~100k rounds on the datacenter leg), so repeated lookups are
@@ -563,12 +685,43 @@ class Simulator:
                 active_list = list(active.values())
                 ctx.now = now
                 wall = _time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
-                allocations = self.policy.schedule(active_list, cluster, ctx)
+                try:
+                    if self.injector is not None:
+                        self.injector.check("policy-round")
+                    allocations = self.policy.schedule(
+                        active_list, cluster, ctx
+                    )
+                except Exception as exc:
+                    # Same containment as the default loop: placements hold
+                    # for this round; the round clock still advances (so a
+                    # repeatedly-failing policy cannot pin the event loop
+                    # to one timestamp) and the batch stays dirty for the
+                    # next round's retry.
+                    result.policy_wall_seconds += _time.perf_counter() - wall  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
+                    result.policy_invocations += 1
+                    policy_failures += 1
+                    self._record_incident(
+                        result, "policy-error", now,
+                        job_ids=tuple(j.job_id for j in active_list[:5]),
+                        exc=exc,
+                    )
+                    if policy_failures >= self.max_policy_incidents:
+                        raise SimulationError(
+                            f"policy {self.policy.name!r} failed "
+                            f"{policy_failures} consecutive rounds",
+                            incidents=tuple(result.incidents),
+                        ) from exc
+                    next_policy_at = now + self.tick_interval
+                    now = calendar.next_event_time_lazy(
+                        now, policy_at=next_policy_at
+                    )
+                    continue
                 result.policy_wall_seconds += _time.perf_counter() - wall  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
                 result.policy_invocations += 1
+                policy_failures = 0
                 self._apply(
                     allocations, active_list, cluster, now, calendar,
-                    diff=True,
+                    diff=True, result=result,
                 )
                 for job in active_list:
                     st = job.status
@@ -586,9 +739,17 @@ class Simulator:
                     and not calendar.has_cluster_events
                 ):
                     stuck = ", ".join(j.job_id for j in active_list[:5])
-                    raise SimulationError(
+                    message = (
                         f"policy {self.policy.name!r} cannot place "
                         f"remaining jobs ({stuck} ...) on an empty cluster"
+                    )
+                    self._record_incident(
+                        result, "deadlock", now,
+                        job_ids=tuple(j.job_id for j in active_list[:5]),
+                        message=message,
+                    )
+                    raise SimulationError(
+                        message, incidents=tuple(result.incidents)
                     )
 
             # --- choose the next event time ------------------------------
@@ -669,6 +830,7 @@ class Simulator:
         calendar: EventCalendar | None = None,
         *,
         diff: bool = True,
+        result: SimulationResult | None = None,
     ) -> bool:
         """Reconcile the policy's allocation map with the cluster.
 
@@ -749,9 +911,16 @@ class Simulator:
             changed_any = True
             try:
                 cluster.apply(job_id, alloc.placement)
-            except Exception:
+            except Exception as exc:
                 # Policy produced an over-committed placement; treat as a
-                # failed launch and leave the job queued.
+                # failed launch, leave the job queued, and surface the
+                # containment on the incident stream (it used to be
+                # swallowed silently — the RPL007 audit target).
+                if result is not None:
+                    self._record_incident(
+                        result, "apply-error", now,
+                        job_ids=(job_id,), exc=exc,
+                    )
                 cluster.release(job_id)
                 if job.is_running:
                     self._requeue(job, now)

@@ -74,6 +74,25 @@ class JobRecord:
         )
 
 
+@dataclass(frozen=True)
+class Incident:
+    """One contained fault the simulator absorbed instead of crashing.
+
+    Every field is deterministic — kind, scheduling round, simulation
+    time, the (bounded) job ids in flight, and a stable traceback digest
+    (see :func:`repro.faults.traceback_digest`) — so incident streams are
+    byte-identical across repeated runs of the same plan + seed.
+    """
+
+    kind: str
+    round: int
+    time: float
+    job_ids: tuple[str, ...] = ()
+    error: str = ""
+    message: str = ""
+    traceback_digest: str = ""
+
+
 #: Numeric ``JobRecord`` fields mirrored into compact per-field columns when
 #: record retention is bounded, so scalar aggregates (JCT stats, GPU-hours,
 #: overhead fractions, makespan) still cover every completed job after the
@@ -132,6 +151,11 @@ class SimulationResult:
     #: the serializer omits them then, keeping legacy documents byte-stable.
     cluster_events: int = 0
     evictions: int = 0
+    #: Contained faults, in occurrence order (policy exceptions held for a
+    #: round, perf-model fit retries, deadlock escalations, …).  Empty on
+    #: healthy runs — the serializer omits the field then, keeping
+    #: zero-fault result documents byte-stable.
+    incidents: list[Incident] = field(default_factory=list)
     #: Streaming columns (see ``max_records``); populated lazily by
     #: :meth:`add_record` only on bounded results, so unbounded runs keep
     #: every aggregate reading ``records`` directly — byte-identical to the
@@ -337,4 +361,7 @@ class SimulationResult:
             out["evictions"] = float(self.evictions)
             out["goodput_gpu_h"] = self.goodput_gpu_hours
             out["lost_gpu_h"] = self.lost_gpu_hours
+        # Likewise the incident count: only degraded runs grow the key.
+        if self.incidents:
+            out["incidents"] = float(len(self.incidents))
         return out

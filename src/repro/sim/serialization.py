@@ -14,7 +14,7 @@ from typing import Any
 
 from repro.plans.plan import ExecutionPlan, ZeroStage
 from repro.scheduler.job import JobPriority
-from repro.sim.metrics import JobRecord, SimulationResult
+from repro.sim.metrics import Incident, JobRecord, SimulationResult
 from repro.sim.trace import Trace, TraceJob
 
 FORMAT_VERSION = 1
@@ -146,7 +146,40 @@ def result_to_dict(result: SimulationResult) -> dict[str, Any]:
     if result.cluster_events:
         doc["cluster_events"] = result.cluster_events
         doc["evictions"] = result.evictions
+    # Incident stream: only degraded runs carry it (same sparse contract —
+    # zero-fault documents are byte-identical to pre-harness output).
+    if result.incidents:
+        doc["incidents"] = [incident_to_dict(i) for i in result.incidents]
     return doc
+
+
+def incident_to_dict(incident: Incident) -> dict[str, Any]:
+    data: dict[str, Any] = {
+        "kind": incident.kind,
+        "round": incident.round,
+        "time": incident.time,
+    }
+    if incident.job_ids:
+        data["job_ids"] = list(incident.job_ids)
+    if incident.error:
+        data["error"] = incident.error
+    if incident.message:
+        data["message"] = incident.message
+    if incident.traceback_digest:
+        data["traceback_digest"] = incident.traceback_digest
+    return data
+
+
+def incident_from_dict(data: dict[str, Any]) -> Incident:
+    return Incident(
+        kind=str(data["kind"]),
+        round=int(data["round"]),
+        time=float(data["time"]),
+        job_ids=tuple(data.get("job_ids", ())),
+        error=str(data.get("error", "")),
+        message=str(data.get("message", "")),
+        traceback_digest=str(data.get("traceback_digest", "")),
+    )
 
 
 def _record_to_dict(r: JobRecord) -> dict[str, Any]:
@@ -226,6 +259,10 @@ def result_from_dict(data: dict[str, Any]) -> SimulationResult:
         # Cluster-dynamics counters (absent in legacy/static documents).
         cluster_events=int(data.get("cluster_events", 0)),
         evictions=int(data.get("evictions", 0)),
+        # Incident stream (absent on healthy/legacy documents).
+        incidents=[
+            incident_from_dict(i) for i in data.get("incidents", ())
+        ],
     )
 
 

@@ -25,7 +25,7 @@ def add_lint_parser(sub: argparse._SubParsersAction) -> None:
         help="AST-based invariant linter over the repo's own source",
         description=(
             "Enforces the determinism/lockstep/serialization/cache "
-            "contracts (rules RPL001-RPL006) at lint time. "
+            "contracts (rules RPL001-RPL007) at lint time. "
             "See DESIGN.md item 40."
         ),
     )

@@ -18,6 +18,7 @@ from repro.statics.rules.determinism import (
     NondeterminismRule,
 )
 from repro.statics.rules.lockstep import LockstepRule
+from repro.statics.rules.robustness import SwallowedExceptionRule
 
 __all__ = ["all_rules", "rules_by_code"]
 
@@ -31,6 +32,7 @@ def all_rules() -> tuple[Rule, ...]:
         SerializationContractRule(),
         CacheSoundnessRule(),
         FrozenMutationRule(),
+        SwallowedExceptionRule(),
     )
     return tuple(sorted(rules, key=lambda r: r.code))
 

@@ -1,0 +1,100 @@
+"""RPL007: broad exception handlers that swallow failures silently.
+
+PR 8's fault-injection subsystem (DESIGN.md 41-43) rests on one invariant:
+a failure on a reproducible path is never *absorbed* — it is either
+re-raised (and classified by the retry/quarantine machinery) or recorded
+as a structured incident on the run's incident stream.  A bare
+``except Exception: pass`` defeats both: the chaos harness cannot observe
+the seam, the failure table under-counts, and the byte-determinism
+contract hides the drift until a golden happens to cross it.
+
+The rule flags every *broad* handler — bare ``except:``, ``Exception``,
+``BaseException``, or a tuple containing either — whose body neither
+``raise``\\ s nor calls an incident-recording function (any call whose
+name contains ``incident``, e.g. ``self._record_incident(...)`` or
+``incident_payload(exc)``).  Narrow handlers (``except OutOfMemoryError``)
+are normal control flow and pass untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.statics.core import Finding, Rule, SourceFile
+
+#: Exception classes whose handlers count as broad.
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:``, ``except Exception`` and tuples thereof."""
+    etype = handler.type
+    if etype is None:
+        return True
+    if isinstance(etype, ast.Name):
+        return etype.id in _BROAD_NAMES
+    if isinstance(etype, ast.Tuple):
+        return any(
+            isinstance(el, ast.Name) and el.id in _BROAD_NAMES
+            for el in etype.elts
+        )
+    return False
+
+
+def _records_or_raises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body re-raises or records an incident."""
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = ""
+                if isinstance(func, ast.Name):
+                    name = func.id
+                elif isinstance(func, ast.Attribute):
+                    name = func.attr
+                if "incident" in name.lower():
+                    return True
+    return False
+
+
+class SwallowedExceptionRule(Rule):
+    code = "RPL007"
+    title = "broad except swallows the failure without recording an incident"
+    rationale = (
+        "Fault containment must stay observable: a broad handler on a "
+        "reproducible path either re-raises (so the retry/quarantine "
+        "machinery classifies it) or records a structured incident "
+        "(DESIGN.md 43). Silent absorption hides injected and real "
+        "failures alike; narrow the except or call _record_incident/"
+        "incident_payload in the handler."
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        # Benchmarks and examples are demo surfaces, not reproducible
+        # paths; their best-effort cleanup handlers are fine.
+        return not rel.startswith(("benchmarks/", "examples/"))
+
+    def check(self, src: SourceFile) -> list[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _records_or_raises(node):
+                continue
+            caught = (
+                ast.unparse(node.type) if node.type is not None else "<bare>"
+            )
+            out.append(
+                src.finding(
+                    self.code,
+                    node,
+                    f"broad handler ({caught}) neither re-raises nor "
+                    "records an incident; the failure disappears from "
+                    "the incident stream",
+                )
+            )
+        return out

@@ -1,0 +1,60 @@
+"""RPL007 fixture: swallowed broad excepts — positives, negatives, suppressions."""
+
+
+def positive_swallow_exception(risky) -> float:
+    try:
+        return risky()
+    except Exception:
+        return 0.0
+
+
+def positive_bare_except(risky) -> float:
+    try:
+        return risky()
+    except:  # noqa: E722
+        return 0.0
+
+
+def positive_broad_tuple(risky) -> float:
+    try:
+        return risky()
+    except (ValueError, Exception):
+        return 0.0
+
+
+def negative_reraise(risky, log) -> float:
+    try:
+        return risky()
+    except Exception as exc:
+        log.warning("risky failed: %s", exc)
+        raise
+
+
+def negative_records_incident_method(risky, result) -> float:
+    try:
+        return risky()
+    except Exception as exc:
+        result.record_incident("fixture-error", exc=exc)
+        return 0.0
+
+
+def negative_records_incident_payload(risky, faults, incidents) -> float:
+    try:
+        return risky()
+    except Exception as exc:
+        incidents.append(faults.incident_payload(exc))
+        return 0.0
+
+
+def negative_narrow_handler(risky) -> float:
+    try:
+        return risky()
+    except ValueError:
+        return 0.0
+
+
+def suppressed_swallow(risky) -> float:
+    try:
+        return risky()
+    except Exception:  # repro-lint: disable=RPL007 -- fixture: demo surface tolerates best-effort cleanup
+        return 0.0

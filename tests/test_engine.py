@@ -227,3 +227,85 @@ class TestRequeueStateConsistency:
         assert job.pending_restart_penalty == sim.restart_penalty
         assert result.evictions == 1
         assert not cluster.nodes[0].up
+
+
+class TestOomUnderScaleAndDynamics:
+    """Launch-time OOM requeue across loop modes and cluster dynamics.
+
+    The transient-OOM requeue (``_apply``'s narrow ``OutOfMemoryError``
+    handler) is normal operation, not a fault: both simulator loops must
+    absorb it without incidents, stale placements, or lost jobs — also
+    while dynamics evict and restore a node mid-trace.
+    """
+
+    @pytest.fixture(scope="class")
+    def fitted_store(self):
+        """Pre-fitted models so profiling never touches the flaky oracle."""
+        from repro.models import all_models
+        from repro.oracle import build_perf_model
+        from repro.scheduler import PerfModelStore
+
+        testbed = SyntheticTestbed(CLUSTER, seed=SEED)
+        store = PerfModelStore()
+        for model in all_models():
+            if model.name == "llama-30b":
+                continue
+            perf, _ = build_perf_model(
+                testbed, model, model.global_batch_size, seed=SEED
+            )
+            store.add(perf)
+        return store
+
+    def _events(self):
+        from repro.cluster.dynamics import (
+            ClusterEvent,
+            NODE_FAIL,
+            NODE_RECOVER,
+        )
+
+        return (
+            ClusterEvent(time=900.0, kind=NODE_FAIL, node_id=1),
+            ClusterEvent(time=1800.0, kind=NODE_RECOVER, node_id=1),
+        )
+
+    @pytest.mark.parametrize("scale_mode", [False, True],
+                             ids=["default-loop", "scale-loop"])
+    @pytest.mark.parametrize("dynamic", [False, True],
+                             ids=["static", "dynamics"])
+    def test_transient_oom_requeues_and_completes(
+        self, fitted_store, scale_mode, dynamic
+    ):
+        import sys
+
+        testbed = SyntheticTestbed(CLUSTER, seed=SEED)
+        trace = _tiny_trace(testbed, n=8, span=1800.0)
+        sim = Simulator(
+            CLUSTER, rubick_n(), testbed=testbed, perf_store=fitted_store,
+            seed=SEED, scale_mode=scale_mode,
+        )
+        real = sim.scorer.true_throughput
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            # Only the launch-time query (`_apply`) is OOM-requeued;
+            # admission-time SLA baselines must keep seeing the real
+            # oracle.  Raising at the wrapper also keeps the scorer's
+            # infeasibility memo unpoisoned, so the retry can succeed.
+            if sys._getframe(1).f_code.co_name == "_apply":
+                calls["n"] += 1
+                if calls["n"] <= 3:
+                    raise OutOfMemoryError("transient launch OOM")
+            return real(*args, **kwargs)
+
+        sim.scorer.true_throughput = flaky
+        events = self._events() if dynamic else ()
+        res = sim.run(trace, cluster_events=events)
+        # The first launches OOM'd (the oracle really was exercised past
+        # its flaky prefix), yet every job finished with clean state.
+        assert calls["n"] > 3
+        assert len(res.records) == len(trace)
+        assert all(r.finish_time >= r.submit_time for r in res.records)
+        # OOM requeue is normal control flow: no incident recorded.
+        assert res.incidents == []
+        if dynamic:
+            assert res.cluster_events == len(events)

@@ -103,6 +103,12 @@ RULE_CASES = [
         1,
         ['object.__setattr__(self, "value", self.value + 1)'],
     ),
+    (
+        "rpl007_cases.py",
+        "RPL007",
+        3,
+        ["except Exception:", "except:", "(ValueError, Exception)"],
+    ),
 ]
 
 
@@ -163,6 +169,7 @@ class TestRuleFixtures:
         assert codes == sorted(codes)
         assert codes == [
             "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
+            "RPL007",
         ]
         with pytest.raises(ValueError):
             rules_by_code(["RPL999"])
@@ -382,7 +389,7 @@ class TestLintCli:
         out = capsys.readouterr().out
         assert rc == 0
         for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
-                     "RPL006"):
+                     "RPL006", "RPL007"):
             assert code in out
 
     def test_report_artifact(self, tmp_path, capsys):
