@@ -65,9 +65,13 @@ from repro.scheduler import (
     rubick_n,
     rubick_r,
 )
+from repro.scheduler.registry import POLICIES, make_policy
+from repro.service import ServiceClient, ServiceMaster, serve
 from repro.sim import (
+    EngineConfig,
     SimulationResult,
     Simulator,
+    StepReport,
     Trace,
     TraceJob,
     WorkloadConfig,
@@ -75,6 +79,7 @@ from repro.sim import (
     to_best_plan_trace,
     to_multi_tenant_trace,
 )
+from repro.workloads import list_scenarios, resolve_scenario
 
 __version__ = "1.0.0"
 
@@ -83,6 +88,7 @@ __all__ = [
     "CATALOG",
     "Cluster",
     "ClusterSpec",
+    "EngineConfig",
     "EngineStats",
     "ExecutionPlan",
     "GPT2",
@@ -94,6 +100,7 @@ __all__ = [
     "ModelSpec",
     "NodeSpec",
     "PAPER_CLUSTER",
+    "POLICIES",
     "PerfModel",
     "PerfModelStore",
     "PerfParams",
@@ -104,8 +111,11 @@ __all__ = [
     "RubickPolicy",
     "SchedulingContext",
     "SensitivityAnalyzer",
+    "ServiceClient",
+    "ServiceMaster",
     "SimulationResult",
     "Simulator",
+    "StepReport",
     "SyntheticTestbed",
     "Tenant",
     "ThroughputSample",
@@ -121,10 +131,14 @@ __all__ = [
     "fit_perf_model",
     "generate_trace",
     "get_model",
+    "list_scenarios",
+    "make_policy",
+    "resolve_scenario",
     "rubick",
     "rubick_e",
     "rubick_n",
     "rubick_r",
+    "serve",
     "single_node_cluster",
     "to_best_plan_trace",
     "to_multi_tenant_trace",

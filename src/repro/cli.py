@@ -9,19 +9,30 @@ Commands:
 * ``sweep``          — fan a (policy × scenario × variant × seed) grid out
                        across worker processes with persisted, resumable
                        results.
+* ``serve``          — run a live scheduling-service master accepting
+                       streamed submissions (``repro.service``).
+* ``submit``         — stream a scenario's jobs/events into a running
+                       master (the load-generator client).
 * ``workload``       — list, inspect and materialize named workload
                        scenarios (``repro.workloads``).
 * ``profile``        — fit and print a performance model for one catalog model.
 
-``simulate``, ``compare`` and ``sweep`` all execute through the experiments
-runner (`repro.experiments`), so a CLI run and a sweep worker are the same
-code path.
+``simulate``, ``compare``, ``sweep`` and ``serve`` all execute through the
+experiments runner (`repro.experiments`), so a CLI run, a sweep worker and
+a served session are the same code path.  The shared flag vocabulary
+(``--policy``, ``--scenario``, ``--dynamics``, ``--faults``) is defined
+once in the ``_*_parent`` argparse parents below: every command spells,
+defaults and documents these flags identically, and the grid commands
+additionally accept the plural aliases (``--policies``, ``--scenarios``)
+they historically used.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 
 from repro.analysis import format_table
 from repro.cluster import (
@@ -35,12 +46,22 @@ from repro.experiments import (
     RunSpec,
     SweepSpec,
     aggregate,
+    build_trace,
+    default_tenants,
     execute_run,
     format_failure_table,
     format_sweep_table,
+    run_cluster_events,
     run_sweep,
+    simulator_for_run,
 )
-from repro.errors import ClusterDynamicsError, FaultPlanError, WorkloadError
+from repro.errors import (
+    ClusterDynamicsError,
+    FaultPlanError,
+    ProtocolError,
+    SimulationError,
+    WorkloadError,
+)
 from repro.experiments.spec import VARIANTS
 from repro.faults import (
     NO_FAULTS_NAME,
@@ -50,8 +71,15 @@ from repro.faults import (
 from repro.models import get_model
 from repro.oracle import SyntheticTestbed, build_perf_model
 from repro.scheduler.registry import POLICIES
+from repro.service import (
+    RealTimeClock,
+    ServiceClient,
+    VirtualClock,
+    replay,
+    serve,
+)
 from repro.sim import WorkloadConfig, generate_trace
-from repro.sim.serialization import save_result, save_trace
+from repro.sim.serialization import result_from_dict, save_result, save_trace
 from repro.statics.cli import add_lint_parser
 from repro.units import HOUR
 from repro.workloads import (
@@ -75,6 +103,101 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nodes", type=int, default=8)
     parser.add_argument("--gpus-per-node", type=int, default=8)
     parser.add_argument("--seed", type=int, default=0)
+
+
+# ----------------------------------------------------------------------
+# Shared flag vocabulary (argparse parents)
+# ----------------------------------------------------------------------
+# One definition per flag family; every command that takes the flag gets
+# it from here, so spelling, defaults and help text cannot drift apart.
+# ``multi=True`` commands (compare, sweep) interpret the value as a
+# comma-separated list and accept the historical plural aliases.
+def _policy_parent(*, multi: bool = False) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    known = ", ".join(sorted(POLICIES))
+    if multi:
+        parent.add_argument(
+            "--policy", "--policies", dest="policy", metavar="POLICY",
+            default="rubick,sia,synergy",
+            help=f"comma-separated scheduling policies (known: {known})",
+        )
+    else:
+        parent.add_argument(
+            "--policy", "--policies", dest="policy", metavar="POLICY",
+            default="rubick", choices=sorted(POLICIES),
+            help=f"scheduling policy (known: {known})",
+        )
+    return parent
+
+
+def _workload_parent(*, multi: bool = False) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    noun = "comma-separated workload scenarios" if multi else \
+        "workload scenario"
+    parent.add_argument(
+        "--scenario", "--scenarios", dest="scenario", metavar="SCENARIO",
+        default=DEFAULT_SCENARIO,
+        help=f"{noun}: registered name or replay:<path> "
+             "(see `repro workload list`)",
+    )
+    profiles = "comma-separated cluster-dynamics profiles" if multi else \
+        "cluster-dynamics profile"
+    parent.add_argument(
+        "--dynamics", default="", metavar="PROFILE",
+        help=f"{profiles} (e.g. flaky, scaleout-midday, "
+             "file:<events.json>); default: the scenario's own dynamics",
+    )
+    return parent
+
+
+def _faults_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--faults", default=NO_FAULTS_NAME, metavar="PLAN",
+        help="fault plan to inject (name or file:<plan.json>; "
+             "see `repro faults list`)",
+    )
+    return parent
+
+
+def _endpoint_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--host", default="127.0.0.1",
+                        help="service address")
+    parent.add_argument("--port", type=int, default=0,
+                        help="service TCP port (serve: 0 picks an "
+                             "ephemeral port; submit: required unless "
+                             "--port-file is given)")
+    parent.add_argument("--port-file", metavar="PATH",
+                        help="port-discovery file: serve writes its bound "
+                             "port there, submit reads it")
+    return parent
+
+
+def _clock_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--virtual-clock", action="store_true",
+        help="deterministic virtual time: simulated time advances only "
+             "on frames, so a streamed replay is byte-identical to the "
+             "batch `repro simulate` of the same spec (CI mode)",
+    )
+    parent.add_argument(
+        "--speed", type=float, default=1.0, metavar="X",
+        help="real-time mode: simulated seconds per wall second "
+             "(ignored under --virtual-clock)",
+    )
+    return parent
+
+
+def _resolve_faults(args):
+    """(fault plan or None, exit code) for a command's --faults value."""
+    try:
+        plan = resolve_fault_plan(args.faults)
+    except FaultPlanError as exc:
+        print(str(exc))
+        return None, 2
+    return (plan if plan.rules else None), 0
 
 
 def _add_stats_arg(parser: argparse.ArgumentParser) -> None:
@@ -193,10 +316,23 @@ def _bad_dynamics(names) -> bool:
     return bool(bad)
 
 
+def _bad_scenarios(names) -> bool:
+    bad = _check_scenarios(names)
+    if bad:
+        known = ", ".join(s.name for s in list_scenarios())
+        print(f"unknown scenarios: {bad}; known: {known}, or replay:<path>")
+    return bool(bad)
+
+
 def cmd_simulate(args) -> int:
-    if _bad_dynamics([args.dynamics]):
+    if _bad_scenarios([args.scenario]) or _bad_dynamics([args.dynamics]):
         return 2
-    execution = execute_run(_run_spec(args, args.policy))
+    plan, rc = _resolve_faults(args)
+    if rc:
+        return rc
+    run = _run_spec(args, args.policy)
+    injector = plan.injector(run.run_key) if plan is not None else None
+    execution = execute_run(run, injector=injector)
     result, trace = execution.result, execution.trace
     summary = result.summary()
     print(
@@ -216,14 +352,21 @@ def cmd_simulate(args) -> int:
 
 def cmd_compare(args) -> int:
     cluster = _cluster_from_args(args)
-    names = args.policies.split(",")
+    names = args.policy.split(",")
     unknown = [n for n in names if n not in POLICIES]
     if unknown:
         print(f"unknown policies: {unknown}; known: {sorted(POLICIES)}")
         return 2
-    if _bad_dynamics([args.dynamics]):
+    if _bad_scenarios([args.scenario]) or _bad_dynamics([args.dynamics]):
         return 2
-    executions = [execute_run(_run_spec(args, name)) for name in names]
+    plan, rc = _resolve_faults(args)
+    if rc:
+        return rc
+    executions = []
+    for name in names:
+        run = _run_spec(args, name)
+        injector = plan.injector(run.run_key) if plan is not None else None
+        executions.append(execute_run(run, injector=injector))
     results = [e.result for e in executions]
     trace = executions[0].trace
     ref = results[0]
@@ -269,7 +412,7 @@ def _csv(text: str, convert=str) -> tuple:
 
 
 def cmd_sweep(args) -> int:
-    policies = _csv(args.policies)
+    policies = _csv(args.policy)
     unknown = [n for n in policies if n not in POLICIES]
     if unknown:
         print(f"unknown policies: {unknown}; known: {sorted(POLICIES)}")
@@ -279,11 +422,8 @@ def cmd_sweep(args) -> int:
     if bad:
         print(f"unknown variants: {bad}; known: {list(VARIANTS)}")
         return 2
-    scenarios = _csv(args.scenarios)
-    bad = _check_scenarios(scenarios)
-    if bad:
-        known = ", ".join(s.name for s in list_scenarios())
-        print(f"unknown scenarios: {bad}; known: {known}, or replay:<path>")
+    scenarios = _csv(args.scenario)
+    if _bad_scenarios(scenarios):
         return 2
     dynamics = _csv(args.dynamics) or ("",)
     if _bad_dynamics(dynamics):
@@ -371,6 +511,149 @@ def cmd_sweep(args) -> int:
             f"{args.out}/failures/ (re-run with --resume to retry them)"
         )
         return 3
+    return 0
+
+
+def _print_result_summary(result, title: str) -> None:
+    print(
+        format_table(
+            ["metric", "value"],
+            [(k, f"{v:.3f}") for k, v in result.summary().items()],
+            title=title,
+        )
+    )
+
+
+def cmd_serve(args) -> int:
+    if _bad_scenarios([args.scenario]) or _bad_dynamics([args.dynamics]):
+        return 2
+    plan, rc = _resolve_faults(args)
+    if rc:
+        return rc
+    run = _run_spec(args, args.policy)
+    injector = plan.injector(run.run_key) if plan is not None else None
+    sim = simulator_for_run(run, injector=injector)
+    clock = (
+        VirtualClock() if args.virtual_clock
+        else RealTimeClock(speed=args.speed)
+    )
+    try:
+        result = serve(
+            sim,
+            host=args.host,
+            port=args.port,
+            clock=clock,
+            tenants=default_tenants(run),
+            port_file=args.port_file,
+            log=print,
+        )
+    except SimulationError as exc:
+        print(f"simulation failed: {exc}")
+        return 1
+    if result is None:
+        print("master exited without a completed drain")
+        return 1
+    _print_result_summary(
+        result,
+        f"{args.policy} served session "
+        f"({len(result.records) + result.dropped_records} jobs)",
+    )
+    if args.output:
+        save_result(result, args.output)
+        print(f"wrote result to {args.output}")
+    return 0
+
+
+def _discover_port(args) -> int:
+    """The master's port, from --port or (with retries) --port-file.
+
+    ``repro serve --port-file X &`` then ``repro submit --port-file X`` is
+    the scripted/CI startup shape; the file appears only once the master
+    has bound, so the client polls for it briefly instead of racing.
+    """
+    if args.port:
+        return args.port
+    if not args.port_file:
+        raise ProtocolError("submit needs --port or --port-file")
+    deadline = time.monotonic() + args.connect_timeout  # repro-lint: disable=RPL001 -- client-side startup timeout against a live master; never on a persisted-artifact path
+    path = Path(args.port_file)
+    while True:
+        if path.exists():
+            text = path.read_text().strip()
+            if text:
+                return int(text.split()[0])
+        if time.monotonic() > deadline:  # repro-lint: disable=RPL001 -- client-side startup timeout against a live master; never on a persisted-artifact path
+            raise ProtocolError(
+                f"no master port appeared in {args.port_file} within "
+                f"{args.connect_timeout:.0f}s"
+            )
+        time.sleep(0.05)
+
+
+def _connect_with_retry(args, port: int) -> ServiceClient:
+    deadline = time.monotonic() + args.connect_timeout  # repro-lint: disable=RPL001 -- client-side startup timeout against a live master; never on a persisted-artifact path
+    while True:
+        try:
+            return ServiceClient(host=args.host, port=port).connect()
+        except OSError as exc:
+            if time.monotonic() > deadline:  # repro-lint: disable=RPL001 -- client-side startup timeout against a live master; never on a persisted-artifact path
+                raise ProtocolError(
+                    f"cannot reach master at {args.host}:{port}: {exc}"
+                ) from exc
+            time.sleep(0.05)
+
+
+def cmd_submit(args) -> int:
+    if _bad_scenarios([args.scenario]) or _bad_dynamics([args.dynamics]):
+        return 2
+    # The load generator replays a *run spec*: same trace builder and
+    # dynamics expansion as `repro simulate`, so a virtual-clock session
+    # reproduces the batch result byte for byte.  The policy axis lives on
+    # the serve side; the spec's policy field does not influence the trace.
+    run = _run_spec(args, "rubick")
+    trace = build_trace(run)
+    events = run_cluster_events(run)
+    try:
+        port = _discover_port(args)
+        client = _connect_with_retry(args, port)
+    except ProtocolError as exc:
+        print(str(exc))
+        return 2
+    try:
+        with client:
+            report = replay(
+                trace,
+                client,
+                events=events,
+                speed=None if args.virtual_clock else args.speed,
+                log=print,
+            )
+    except ProtocolError as exc:
+        print(f"replay failed: {exc}")
+        return 1
+    doc = report.result
+    if doc is None:
+        print("master drained without a result document")
+        return 1
+    summary = doc.get("summary", {})
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                (k, "-" if v is None else f"{v:.3f}")
+                for k, v in summary.items()
+            ],
+            title=f"{doc.get('policy_name')} on {doc.get('trace_name')} "
+            f"({report.jobs} jobs, {report.events} cluster events)",
+        )
+    )
+    if args.output:
+        # Round-trip the wire document through the result model before
+        # writing: the file comes out byte-identical to what
+        # `repro simulate --output` writes for the same spec (the wire
+        # frame is compact/sorted JSON; persisted documents are not).
+        save_result(result_from_dict(doc), args.output)
+        print(f"wrote result to {args.output}")
     return 0
 
 
@@ -540,31 +823,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", required=True)
     p.set_defaults(func=cmd_generate_trace)
 
-    p = sub.add_parser("simulate", help="replay a trace under one scheduler")
+    p = sub.add_parser(
+        "simulate",
+        help="replay a trace under one scheduler",
+        parents=[_policy_parent(), _workload_parent(), _faults_parent()],
+    )
     _add_cluster_args(p)
-    p.add_argument("--policy", choices=sorted(POLICIES), default="rubick")
     p.add_argument("--trace", help="trace JSON (generated if omitted)")
-    p.add_argument("--scenario", default=DEFAULT_SCENARIO,
-                   help="workload scenario name or replay:<path> "
-                        "(see `repro workload list`)")
-    p.add_argument("--dynamics", default="",
-                   help="cluster-dynamics profile (e.g. flaky, "
-                        "scaleout-midday, file:<events.json>); default: "
-                        "the scenario's own dynamics")
     p.add_argument("--jobs", type=int, default=80)
     p.add_argument("--output", help="write the result JSON here")
     _add_stats_arg(p)
     p.set_defaults(func=cmd_simulate)
 
-    p = sub.add_parser("compare", help="run several schedulers on one trace")
+    p = sub.add_parser(
+        "compare",
+        help="run several schedulers on one trace",
+        parents=[
+            _policy_parent(multi=True),
+            _workload_parent(),
+            _faults_parent(),
+        ],
+    )
     _add_cluster_args(p)
-    p.add_argument("--policies", default="rubick,sia,synergy")
     p.add_argument("--trace", help="trace JSON (generated if omitted)")
-    p.add_argument("--scenario", default=DEFAULT_SCENARIO,
-                   help="workload scenario name or replay:<path>")
-    p.add_argument("--dynamics", default="",
-                   help="cluster-dynamics profile for all policies "
-                        "(identical event stream per policy)")
     p.add_argument("--jobs", type=int, default=80)
     _add_stats_arg(p)
     p.set_defaults(func=cmd_compare)
@@ -573,21 +854,18 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a (policy x scenario x variant x seed) grid across "
              "worker processes",
+        parents=[
+            _policy_parent(multi=True),
+            _workload_parent(multi=True),
+            _faults_parent(),
+        ],
     )
     p.add_argument("--nodes", type=int, default=8)
     p.add_argument("--gpus-per-node", type=int, default=8)
-    p.add_argument("--policies", default="rubick,sia,synergy")
     p.add_argument("--seeds", default="0",
                    help="comma-separated seed list (e.g. 0,1,2)")
     p.add_argument("--variants", default="base",
                    help=f"comma-separated subset of {','.join(VARIANTS)}")
-    p.add_argument("--scenarios", default=DEFAULT_SCENARIO,
-                   help="comma-separated workload scenarios "
-                        "(see `repro workload list`; replay:<path> allowed)")
-    p.add_argument("--dynamics", default="",
-                   help="comma-separated cluster-dynamics profiles "
-                        "(e.g. none,flaky); empty entries inherit each "
-                        "scenario's dynamics")
     p.add_argument("--loads", default="1.0",
                    help="comma-separated arrival-rate factors (Fig. 10)")
     p.add_argument("--large-model-factors", default="1.0",
@@ -600,15 +878,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="results directory (JSONL per run)")
     p.add_argument("--resume", action="store_true",
                    help="skip runs whose result is already on disk")
-    p.add_argument("--faults", default=NO_FAULTS_NAME,
-                   help="fault plan to inject (name or file:<plan.json>; "
-                        "see `repro faults list`)")
     p.add_argument("--max-attempts", type=int, default=2,
                    help="per-run attempt budget before quarantine")
     p.add_argument("--run-timeout", type=float, default=None,
                    help="per-run wall-clock budget in seconds "
                         "(default: unlimited)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a live scheduling-service master (streamed submissions)",
+        parents=[
+            _policy_parent(),
+            _workload_parent(),
+            _faults_parent(),
+            _endpoint_parent(),
+            _clock_parent(),
+        ],
+    )
+    _add_cluster_args(p)
+    p.add_argument("--jobs", type=int, default=80,
+                   help="run-spec jobs axis (tenant split only; the "
+                        "actual jobs arrive as SUBMIT frames)")
+    p.add_argument("--trace", help=argparse.SUPPRESS)
+    p.add_argument("--output", help="write the drained result JSON here")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="stream a scenario into a running master (load generator)",
+        parents=[
+            _workload_parent(),
+            _endpoint_parent(),
+            _clock_parent(),
+        ],
+    )
+    _add_cluster_args(p)
+    p.add_argument("--trace", help="trace JSON (generated if omitted)")
+    p.add_argument("--jobs", type=int, default=80)
+    p.add_argument("--connect-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="how long to wait for the master's port "
+                        "file/socket to come up")
+    p.add_argument("--output", help="write the drained result JSON here "
+                                    "(byte-identical to `repro simulate "
+                                    "--output` of the same spec under "
+                                    "--virtual-clock)")
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser(
         "faults", help="list and inspect fault-injection plans"

@@ -133,3 +133,13 @@ class CorruptRunRecordError(ReproError):
     def __init__(self, message: str, *, run_key: str = ""):
         super().__init__(message)
         self.run_key = run_key
+
+
+class ProtocolError(ReproError):
+    """A scheduling-service frame violated the wire protocol.
+
+    Examples: a frame longer than the size guard, a payload that is not a
+    JSON object, an unknown frame type, or a deterministic-mode submission
+    behind the session clock.  The master replies with an ERROR frame and
+    keeps serving; the decoder raises it for unrecoverable stream damage.
+    """

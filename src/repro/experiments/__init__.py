@@ -19,7 +19,9 @@ from repro.experiments.runner import (
     build_trace,
     default_tenants,
     execute_run,
+    run_cluster_events,
     run_sweep,
+    simulator_for_run,
 )
 from repro.experiments.spec import VARIANTS, RunSpec, SweepSpec
 from repro.experiments.store import RunStore
@@ -39,5 +41,7 @@ __all__ = [
     "execute_run",
     "format_failure_table",
     "format_sweep_table",
+    "run_cluster_events",
     "run_sweep",
+    "simulator_for_run",
 ]

@@ -39,7 +39,7 @@ from repro.faults import FaultPlan, incident_payload
 from repro.oracle.testbed import SyntheticTestbed
 from repro.scheduler.interfaces import SchedulerPolicy, Tenant
 from repro.scheduler.registry import make_policy
-from repro.sim.engine import Simulator
+from repro.sim.engine import EngineConfig, Simulator
 from repro.sim.metrics import SimulationResult
 from repro.sim.serialization import (
     incident_to_dict,
@@ -178,6 +178,23 @@ class RunExecution:
     wall_seconds: float
 
 
+def simulator_for_run(run: RunSpec, *, injector=None) -> Simulator:
+    """The exact engine a batch execution of this spec builds.
+
+    The scheduling service (``repro serve``) constructs its session
+    through this same function, which is what makes a streamed replay of
+    a run spec byte-identical to ``execute_run`` of the same spec.
+    """
+    cluster = run.cluster
+    return Simulator(
+        cluster,
+        make_policy(run.policy),
+        testbed=SyntheticTestbed(cluster, seed=run.seed),
+        config=EngineConfig(seed=run.seed),
+        injector=injector,
+    )
+
+
 def execute_run(run: RunSpec, *, injector=None) -> RunExecution:
     """Build everything from the spec and replay the trace once.
 
@@ -191,15 +208,8 @@ def execute_run(run: RunSpec, *, injector=None) -> RunExecution:
         injector.check("worker-hang")
         injector.check("trace-build")
     trace = build_trace(run)
-    policy = make_policy(run.policy)
-    cluster = run.cluster
-    sim = Simulator(
-        cluster,
-        policy,
-        testbed=SyntheticTestbed(cluster, seed=run.seed),
-        seed=run.seed,
-        injector=injector,
-    )
+    sim = simulator_for_run(run, injector=injector)
+    policy = sim.policy
     if injector is not None:
         injector.check("worker-crash")
     result = sim.run(

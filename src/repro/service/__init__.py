@@ -1,0 +1,32 @@
+"""Live scheduling service: master/daemon protocol over the step() engine.
+
+The package turns the batch simulator into a long-running scheduler
+process (the paper's deployment shape: one master accepting streamed job
+submissions, many daemons reporting in):
+
+* ``protocol`` — length-delimited JSON frames (SUBMIT / CLUSTER_EVENT /
+  STATUS / METRICS / DRAIN) with torn-frame-safe decoding.
+* ``clock`` — deterministic virtual time (CI) vs scaled real time.
+* ``master`` — the selector-based non-blocking service loop
+  (``repro serve``).
+* ``client`` — blocking request/reply client + trace replay load
+  generator (``repro submit``).
+"""
+
+from repro.service.clock import RealTimeClock, VirtualClock
+from repro.service.client import ReplayReport, ServiceClient, replay
+from repro.service.master import ServiceMaster, metrics_payload, serve
+from repro.service.protocol import FrameDecoder, encode_frame
+
+__all__ = [
+    "FrameDecoder",
+    "RealTimeClock",
+    "ReplayReport",
+    "ServiceClient",
+    "ServiceMaster",
+    "VirtualClock",
+    "encode_frame",
+    "metrics_payload",
+    "replay",
+    "serve",
+]

@@ -1,6 +1,6 @@
 """Discrete-time cluster simulation: engine, traces, workloads, metrics."""
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import EngineConfig, Simulator, StepReport
 from repro.sim.events import EventCalendar
 from repro.sim.metrics import JobRecord, SimulationResult
 from repro.sim.trace import Trace, TraceJob
@@ -17,10 +17,12 @@ from repro.sim.workload import (
 __all__ = [
     "DEFAULT_GPU_MIX",
     "MODEL_MIN_GPUS",
+    "EngineConfig",
     "EventCalendar",
     "JobRecord",
     "SimulationResult",
     "Simulator",
+    "StepReport",
     "Trace",
     "TraceJob",
     "WorkloadConfig",

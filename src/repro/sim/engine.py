@@ -33,6 +33,8 @@ Mechanics:
 from __future__ import annotations
 
 import time as _time
+import warnings
+from dataclasses import dataclass, field, fields, replace
 from typing import Sequence
 
 from repro.cluster.dynamics import (
@@ -72,6 +74,97 @@ from repro.sim.trace import Trace
 
 _EPS = 1e-6
 
+#: Internal `_step_*` outcomes.  ``_CONTINUE`` — the step budget (`until` /
+#: one round) ran out with events still pending; ``_IDLE`` — a live session
+#: drained every queued event and is waiting for submissions; ``_DONE`` —
+#: the run terminated (stream closed, nothing active, nothing pending).
+_CONTINUE = "continue"
+_IDLE = "idle"
+_DONE = "done"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Frozen simulator knobs (everything that is plain data, not a live
+    collaborator — testbeds, perf stores, refitters and injectors stay
+    constructor arguments).  Field semantics are documented on the matching
+    :class:`Simulator` attributes."""
+
+    seed: int = 0
+    reconfig_delta: float = 78.0
+    tick_interval: float = 300.0
+    default_cpus_per_gpu: int = 4
+    max_sim_time: float = 120 * 3600.0
+    fast_path: bool = True
+    restart_penalty: float = 300.0
+    checkpoint_interval: float = 1800.0
+    scale_mode: bool = False
+    result_record_limit: int | None = None
+    max_policy_incidents: int = 3
+
+
+_CONFIG_FIELDS = frozenset(f.name for f in fields(EngineConfig))
+
+
+@dataclass
+class StepReport:
+    """What one :meth:`Simulator.step` slice did.
+
+    ``wall_seconds`` / ``events_per_second`` are wall-clock perf channels
+    for live observability (the service's stdout log); like the result's
+    run-level twins they are never persisted and never enter METRICS
+    payloads (DESIGN.md item 28).
+    """
+
+    now: float
+    rounds: int
+    admitted: int
+    completed: int
+    incidents: int
+    done: bool
+    idle: bool
+    wall_seconds: float
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.rounds / self.wall_seconds
+
+
+@dataclass
+class _LiveRun:
+    """Mutable state of one simulation session (between ``step()`` calls).
+
+    The step functions load these into locals on entry and store them back
+    on exit (``run()`` makes exactly one ``step`` call, so the hot loop
+    keeps its local-variable speed).
+    """
+
+    result: SimulationResult
+    cluster: Cluster
+    calendar: EventCalendar
+    active: dict[str, Job]
+    gpu_seconds: dict[str, float]
+    ctx: SchedulingContext
+    #: True while the session accepts live submissions: the run pauses
+    #: (status "idle") instead of terminating when the queue drains.
+    stream_open: bool = False
+    now: float = 0.0
+    seq: int = 0
+    started: bool = False
+    finished: bool = False
+    #: Job ids pushed but not yet admitted (duplicate-submission guard —
+    #: admitted ids are tracked by ``gpu_seconds``).
+    pending_ids: set[str] = field(default_factory=set)
+    # Default-loop state.
+    steady: bool = False
+    idle_rounds: int = 0
+    policy_failures: int = 0
+    # Scale-loop state.
+    next_policy_at: float = 0.0
+    dirty: bool = False
+
 
 class Simulator:
     """Replays a trace under one scheduling policy."""
@@ -81,31 +174,42 @@ class Simulator:
         cluster_spec: ClusterSpec,
         policy: SchedulerPolicy,
         *,
+        config: EngineConfig | None = None,
         testbed: SyntheticTestbed | None = None,
         perf_store: PerfModelStore | None = None,
-        seed: int = 0,
-        reconfig_delta: float = 78.0,
-        tick_interval: float = 300.0,
-        default_cpus_per_gpu: int = 4,
-        max_sim_time: float = 120 * 3600.0,
         online_refitter=None,
-        fast_path: bool = True,
-        restart_penalty: float = 300.0,
-        checkpoint_interval: float = 1800.0,
-        scale_mode: bool = False,
-        result_record_limit: int | None = None,
         injector=None,
-        max_policy_incidents: int = 3,
+        **legacy,
     ):
+        if legacy:
+            unknown = sorted(set(legacy) - _CONFIG_FIELDS)
+            if unknown:
+                raise TypeError(
+                    "Simulator() got unexpected keyword arguments: "
+                    + ", ".join(unknown)
+                )
+            warnings.warn(
+                "passing engine knobs as Simulator keyword arguments "
+                f"({', '.join(sorted(legacy))}) is deprecated and will be "
+                "removed next release; pass config=EngineConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = replace(config or EngineConfig(), **legacy)
+        config = config or EngineConfig()
+        #: The frozen knob set this simulator was built with.  The mirrored
+        #: scalar attributes below stay the supported read surface inside
+        #: the engine (and remain writable for tests that poke them).
+        self.config = config
         self.cluster_spec = cluster_spec
         self.policy = policy
-        self.testbed = testbed or SyntheticTestbed(cluster_spec, seed=seed)
+        self.testbed = testbed or SyntheticTestbed(cluster_spec, seed=config.seed)
         self.perf_store = perf_store or PerfModelStore()
-        self.seed = seed
-        self.reconfig_delta = reconfig_delta
-        self.tick_interval = tick_interval
-        self.default_cpus_per_gpu = default_cpus_per_gpu
-        self.max_sim_time = max_sim_time
+        self.seed = config.seed
+        self.reconfig_delta = config.reconfig_delta
+        self.tick_interval = config.tick_interval
+        self.default_cpus_per_gpu = config.default_cpus_per_gpu
+        self.max_sim_time = config.max_sim_time
         #: Optional :class:`repro.perfmodel.online.OnlineRefitter` — when
         #: set, every realized-throughput observation can trigger a refit
         #: (paper §4.3 continuous model fitting).
@@ -115,17 +219,17 @@ class Simulator:
         #: the pre-PR reference behavior — same results (the golden suite in
         #: ``tests/test_sim_fastpath.py`` asserts byte-identity), used as
         #: the baseline by ``benchmarks/bench_sim_speed.py``.
-        self.fast_path = fast_path
+        self.fast_path = config.fast_path
         #: Extra pause an *evicted* job pays on top of the reconfiguration
         #: delta when it restarts (checkpoint refetch + re-scheduling a
         #: failure costs more than a planned checkpoint-resume).  Only
         #: cluster-dynamics evictions charge it; preemptions do not.
-        self.restart_penalty = restart_penalty
+        self.restart_penalty = config.restart_penalty
         #: Periodic checkpoint cadence (run-seconds).  Checkpoints bound
         #: the progress a node failure can destroy: an eviction rolls the
         #: job back to its last checkpoint, and the GPU-seconds that
         #: produced the destroyed progress are accounted as lost.
-        self.checkpoint_interval = checkpoint_interval
+        self.checkpoint_interval = config.checkpoint_interval
         #: Datacenter-scale loop (opt-in).  Trades the default loop's exact
         #: semantics for per-round costs independent of the active-job
         #: count: job progress is *lazily materialized* from per-job anchors
@@ -139,12 +243,12 @@ class Simulator:
         #: is asserted via invariants and uncontended-trace equivalence
         #: (``tests/test_scale_mode.py``), per the large-scale testing
         #: policy in DESIGN.md.
-        self.scale_mode = scale_mode
+        self.scale_mode = config.scale_mode
         #: Retention bound forwarded to ``SimulationResult.max_records``
         #: (None keeps every record — the default).  Large runs set it so a
         #: 100k-job result is a bounded sample plus exact streamed
         #: aggregates rather than 100k live record objects.
-        self.result_record_limit = result_record_limit
+        self.result_record_limit = config.result_record_limit
         #: Optional :class:`repro.faults.FaultInjector` arming the
         #: simulator-level seams (``policy-round``, ``perfmodel-fit``).
         #: ``None`` — the default — is the zero-fault path, byte-identical
@@ -156,7 +260,7 @@ class Simulator:
         #: escalates to a hard :class:`SimulationError` (carrying the
         #: incident stream) — a policy that never recovers must not spin
         #: forever.
-        self.max_policy_incidents = max_policy_incidents
+        self.max_policy_incidents = config.max_policy_incidents
         #: Memoized ground-truth scorer shared between the plan engine and
         #: the per-round configuration re-scoring in :meth:`_apply`.
         self.scorer = TestbedScorer(self.testbed)
@@ -167,12 +271,15 @@ class Simulator:
         self.plan_engine = PlanEvalEngine(
             cluster_spec,
             scorer=self.scorer,
-            cpus_per_gpu=default_cpus_per_gpu,
+            cpus_per_gpu=config.default_cpus_per_gpu,
         )
         #: ``(model, batch, gpus, cpus, plan) -> (baseline, best, host_mem)``
         #: memo for :meth:`_make_job` — all ground-truth-derived, so entries
         #: never go stale (ground truth never refits).
         self._intrinsics_cache: dict[tuple, tuple[float, float, float]] = {}  # repro-lint: disable=RPL005 -- ground-truth intrinsics: TestbedScorer never refits (DESIGN.md 32-34)
+        #: Current session (:meth:`start` / :meth:`step`); ``run`` is a
+        #: start + one full step, so batch and live share one state machine.
+        self._live: _LiveRun | None = None
 
     # ------------------------------------------------------------------
     # Setup
@@ -223,45 +330,58 @@ class Simulator:
         """
         count = 0
         for tj in trace:
-            if not self.perf_store.has(tj.model):
-                try:
-                    perf = self._fit_model(tj)
-                except (FittingError, InjectedFault) as exc:
-                    if result is not None:
-                        self._record_incident(
-                            result, "perfmodel-fit-error", 0.0, exc=exc
-                        )
-                    try:
-                        perf = self._fit_model(tj)
-                    except (FittingError, InjectedFault) as exc2:
-                        incidents = (
-                            tuple(result.incidents) if result is not None
-                            else ()
-                        )
-                        raise SimulationError(
-                            f"performance-model fitting failed twice for "
-                            f"model {tj.model.name!r}: {exc2}",
-                            incidents=incidents,
-                        ) from exc2
-                self.perf_store.add(perf)
-                if self.online_refitter is not None:
-                    from repro.oracle.profiler import (
-                        collect_samples,
-                        default_profile_configs,
-                    )
-
-                    configs = default_profile_configs(
-                        self.testbed, tj.model, tj.model.global_batch_size
-                    )
-                    self.online_refitter.register_profiling_samples(
-                        tj.model,
-                        collect_samples(
-                            self.testbed, tj.model,
-                            tj.model.global_batch_size, configs,
-                        ),
-                    )
-                count += 1
+            count += self._ensure_model(tj, result)
         return count * profiling_cost_seconds()
+
+    def _ensure_model(
+        self, tj, result: SimulationResult | None = None
+    ) -> int:
+        """Fit the job's model unless already fitted; returns fits done (0/1).
+
+        Shared by batch profiling (phase ①, every model up front) and live
+        submission (:meth:`submit` fits on first sight of a model).  The
+        testbed derives a fresh RNG stream per measurement from the seed, so
+        *when* a model is fitted cannot change the fit — only first-sight
+        order matters, and a streamed trace preserves it.
+        """
+        if self.perf_store.has(tj.model):
+            return 0
+        try:
+            perf = self._fit_model(tj)
+        except (FittingError, InjectedFault) as exc:
+            if result is not None:
+                self._record_incident(
+                    result, "perfmodel-fit-error", 0.0, exc=exc
+                )
+            try:
+                perf = self._fit_model(tj)
+            except (FittingError, InjectedFault) as exc2:
+                incidents = (
+                    tuple(result.incidents) if result is not None else ()
+                )
+                raise SimulationError(
+                    f"performance-model fitting failed twice for "
+                    f"model {tj.model.name!r}: {exc2}",
+                    incidents=incidents,
+                ) from exc2
+        self.perf_store.add(perf)
+        if self.online_refitter is not None:
+            from repro.oracle.profiler import (
+                collect_samples,
+                default_profile_configs,
+            )
+
+            configs = default_profile_configs(
+                self.testbed, tj.model, tj.model.global_batch_size
+            )
+            self.online_refitter.register_profiling_samples(
+                tj.model,
+                collect_samples(
+                    self.testbed, tj.model,
+                    tj.model.global_batch_size, configs,
+                ),
+            )
+        return 1
 
     def _best_throughput(self, model, gpus: int, global_batch: int) -> float:
         """Ground-truth best-plan throughput at a packed allocation (memoized).
@@ -332,20 +452,28 @@ class Simulator:
         return job
 
     # ------------------------------------------------------------------
-    # Main loop
+    # Session lifecycle: start / step / submit / drain — run() is the
+    # batch wrapper (start + one unbounded step)
     # ------------------------------------------------------------------
-    def run(
+    def start(
         self,
-        trace: Trace,
+        trace: Trace | None = None,
         *,
         tenants: dict[str, Tenant] | None = None,
         cluster_events: Sequence[ClusterEvent] | None = None,
-    ) -> SimulationResult:
-        if self.scale_mode:
-            return self._run_scale(
-                trace, tenants=tenants, cluster_events=cluster_events
-            )
+        stream: bool = False,
+    ) -> None:
+        """Open a simulation session.
+
+        ``stream=True`` keeps the submission stream open: the session
+        pauses (``StepReport.idle``) instead of terminating when the queue
+        drains, and accepts :meth:`submit` / :meth:`post_cluster_event`
+        between :meth:`step` slices until :meth:`drain` closes the stream.
+        ``run()`` is exactly ``start(trace)`` + ``step(until=inf)``.
+        """
         wall_start = _time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
+        if trace is None:
+            trace = Trace(jobs=(), name="live")
         # The result exists before profiling so fit failures can land
         # incidents on it (and escalation can carry them).
         result = SimulationResult(
@@ -354,205 +482,419 @@ class Simulator:
             max_records=self.result_record_limit,
         )
         result.profiling_seconds = self._profile_models(trace, result)
-        cluster = Cluster(self.cluster_spec)
-        calendar = EventCalendar(
-            trace.jobs, self.tick_interval,
-            cluster_events=tuple(cluster_events or ()),
+        self._live = _LiveRun(
+            result=result,
+            cluster=Cluster(self.cluster_spec),
+            calendar=EventCalendar(
+                trace.jobs, self.tick_interval,
+                cluster_events=tuple(cluster_events or ()),
+            ),
+            # Insertion order is arrival order — the iteration order the
+            # pre-PR `[j for j in jobs.values() if j.is_active]` rebuild had.
+            active={},
+            gpu_seconds={},
+            ctx=SchedulingContext(
+                cluster_spec=self.cluster_spec,
+                perf_store=self.perf_store,
+                tenants=tenants or {},
+                reconfig_delta=self.reconfig_delta,
+            ),
+            stream_open=stream,
         )
-        #: Insertion order is arrival order — the iteration order the
-        #: pre-PR `[j for j in jobs.values() if j.is_active]` rebuild had.
-        active: dict[str, Job] = {}
-        gpu_seconds: dict[str, float] = {}
-        ctx = SchedulingContext(
-            cluster_spec=self.cluster_spec,
-            perf_store=self.perf_store,
-            tenants=tenants or {},
-            reconfig_delta=self.reconfig_delta,
+        result.sim_wall_seconds += _time.perf_counter() - wall_start  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
+
+    def _require_live(self) -> _LiveRun:
+        if self._live is None:
+            raise SimulationError("no open session: call start() or run() first")
+        return self._live
+
+    def result(self) -> SimulationResult:
+        """The open session's (possibly still-accumulating) result."""
+        return self._require_live().result
+
+    def submit(self, tj, *, clamp: bool = False):
+        """Stream one :class:`~repro.sim.trace.TraceJob` into the session.
+
+        Deterministic contract (virtual-clock service mode): submissions
+        must not be behind the session clock — a frame that arrives late is
+        an error, because admitting it would depend on delivery timing.
+        Real-time mode passes ``clamp=True`` instead, re-stamping the job
+        to "now" (wall-clock arrival order *is* the semantics there).
+        Returns the (possibly re-stamped) trace job.
+        """
+        st = self._require_live()
+        if not st.stream_open:
+            raise SimulationError(
+                "submission stream is closed; open the session with "
+                "start(stream=True)"
+            )
+        if tj.job_id in st.pending_ids or tj.job_id in st.gpu_seconds:
+            raise ValueError(f"duplicate job id {tj.job_id!r}")
+        if st.started and tj.submit_time < st.now - _EPS:
+            if not clamp:
+                raise ValueError(
+                    f"job {tj.job_id!r} submit_time {tj.submit_time:.3f} is "
+                    f"behind the session clock {st.now:.3f} "
+                    "(pass clamp=True to admit it now)"
+                )
+            tj = replace(tj, submit_time=st.now)
+        st.result.profiling_seconds += (
+            self._ensure_model(tj, st.result) * profiling_cost_seconds()
+        )
+        st.pending_ids.add(tj.job_id)
+        st.calendar.push_arrival(tj)
+        return tj
+
+    def post_cluster_event(
+        self, event: ClusterEvent, *, clamp: bool = False
+    ) -> ClusterEvent:
+        """Stream one cluster-dynamics event into the session."""
+        st = self._require_live()
+        if not st.stream_open:
+            raise SimulationError(
+                "submission stream is closed; open the session with "
+                "start(stream=True)"
+            )
+        if st.started and event.time < st.now - _EPS:
+            if not clamp:
+                raise ValueError(
+                    f"cluster event time {event.time:.3f} is behind the "
+                    f"session clock {st.now:.3f} (pass clamp=True)"
+                )
+            event = replace(event, time=st.now)
+        st.calendar.push_cluster_event(event)
+        return event
+
+    def drain(self, trace_name: str | None = None) -> None:
+        """Close the submission stream: the next unbounded step terminates.
+
+        ``trace_name`` lets a service client stamp the result with the name
+        of the trace it replayed (matching what a batch run would record).
+        """
+        st = self._require_live()
+        st.stream_open = False
+        if trace_name is not None:
+            st.result.trace_name = trace_name
+
+    def status(self) -> dict:
+        """Cheap structured snapshot of the session (service STATUS frame)."""
+        st = self._live
+        if st is None:
+            return {"state": "no-session"}
+        result = st.result
+        running = sum(1 for j in st.active.values() if j.is_running)
+        if st.finished:
+            state = "finished"
+        elif st.stream_open:
+            state = "streaming"
+        else:
+            state = "draining"
+        return {
+            "state": state,
+            "now": st.now,
+            "active": len(st.active),
+            "running": running,
+            "queued": len(st.active) - running,
+            "admitted": st.seq,
+            "completed": len(result.records) + result.dropped_records,
+            "rounds": result.sim_rounds,
+            "policy": result.policy_name,
+        }
+
+    def step(self, until: float | None = None) -> StepReport:
+        """Advance the session and report what the slice did.
+
+        ``until=None`` executes exactly one event round; a finite ``until``
+        keeps processing rounds while ``now < until`` (the clock only stops
+        on event boundaries, and an event pushed at exactly ``until`` is
+        processed by the *next* slice — which is what makes
+        push-then-``step(until=t)`` replay byte-identical to a batch run);
+        ``float("inf")`` runs to completion (or to idle, while the stream
+        is open).
+        """
+        st = self._require_live()
+        wall_start = _time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
+        result = st.result
+        if st.finished:
+            return StepReport(
+                now=st.now, rounds=0, admitted=0, completed=0, incidents=0,
+                done=True, idle=False, wall_seconds=0.0,
+            )
+        rounds0 = result.sim_rounds
+        admitted0 = st.seq
+        completed0 = len(result.records) + result.dropped_records
+        incidents0 = len(result.incidents)
+        if not st.started:
+            if (
+                st.stream_open
+                and not st.active
+                and not st.calendar.has_arrivals
+            ):
+                # Nothing submitted yet: keep the clock unstarted so the
+                # first real submission fast-forwards to its arrival time
+                # exactly like a batch run fast-forwards to the trace head.
+                return StepReport(
+                    now=st.now, rounds=0, admitted=0, completed=0,
+                    incidents=0, done=False, idle=True,
+                    wall_seconds=_time.perf_counter() - wall_start,  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
+                )
+            st.now = st.calendar.first_arrival_time(default=st.now)
+            st.next_policy_at = st.now
+            st.started = True
+        if self.scale_mode:
+            outcome = self._step_scale(st, until)
+        else:
+            outcome = self._step_default(st, until)
+        if outcome is _DONE:
+            self._finalize(st)
+        wall = _time.perf_counter() - wall_start  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
+        result.sim_wall_seconds += wall
+        return StepReport(
+            now=st.now,
+            rounds=result.sim_rounds - rounds0,
+            admitted=st.seq - admitted0,
+            completed=len(result.records) + result.dropped_records - completed0,
+            incidents=len(result.incidents) - incidents0,
+            done=st.finished,
+            idle=outcome is _IDLE,
+            wall_seconds=wall,
         )
 
-        fast = self.fast_path
-        #: True while the last policy decision is provably still the fixed
-        #: point — set only on rounds the policy actually ran (see below).
-        steady = False
-        now = calendar.first_arrival_time(default=0.0)
-        idle_rounds = 0
-        #: Consecutive contained policy failures (reset on any success).
-        policy_failures = 0
-        seq = 0
-        while True:
-            # --- admit arrivals at `now` -------------------------------
-            arrived = False
-            for tj in calendar.pop_arrivals(now + _EPS):
-                job = self._make_job(tj)
-                job.seq = seq
-                seq += 1
-                active[job.job_id] = job
-                gpu_seconds[job.job_id] = 0.0
-                arrived = True
-
-            # --- detect completions ------------------------------------
-            finished = False
-            finished_now = [
-                j
-                for j in active.values()
-                if j.is_running and j.remaining_samples <= _EPS
-            ]
-            for job in finished_now:
-                job.status = JobStatus.FINISHED
-                job.finish_time = now
-                job.throughput = 0.0
-                cluster.release(job.job_id)
-                calendar.invalidate(job.job_id)
-                del active[job.job_id]
-                result.add_record(
-                    JobRecord.from_job(job, gpu_seconds[job.job_id])
-                )
-                finished = True
-
-            # --- apply cluster dynamics at `now` ------------------------
-            # After completions (a job finishing exactly at a failure
-            # instant keeps its completion), before the policy: victims
-            # are already re-queued with cleared placements when the
-            # scheduler next runs — which it must, so a dynamics round is
-            # treated like an arrival by the steady-state gating below.
-            cluster_changed = False
-            for event in calendar.pop_cluster_events(now + _EPS):
-                self._apply_cluster_event(
-                    event, cluster, active, now, calendar, result
-                )
-                result.cluster_events += 1
-                cluster_changed = True
-
-            # --- termination --------------------------------------------
-            if not active and not calendar.has_arrivals:
-                break
-            if now > self.max_sim_time:
-                raise SimulationError(
-                    f"simulation exceeded max_sim_time={self.max_sim_time}; "
-                    f"{len(active)} jobs still active"
-                )
-
-            # --- run the policy -----------------------------------------
-            result.sim_rounds += 1
-            active_list = list(active.values())
-            if steady and not arrived and not finished and not cluster_changed:
-                # Steady-state short-circuit: nothing the policy's decision
-                # depends on has changed since it last ran, so invoking it
-                # would reproduce the current allocation verbatim.
-                result.policy_skips += 1
-                idle_rounds = 0  # steady state implies running jobs
-            else:
-                ctx.now = now
-                wall = _time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
-                try:
-                    if self.injector is not None:
-                        self.injector.check("policy-round")
-                    allocations = self.policy.schedule(
-                        active_list, cluster, ctx
-                    )
-                except Exception as exc:
-                    # Containment: current placements hold for the round, a
-                    # structured incident lands on the result, and only N
-                    # consecutive failures escalate to a hard error.
-                    result.policy_wall_seconds += _time.perf_counter() - wall  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
-                    result.policy_invocations += 1
-                    policy_failures += 1
-                    self._record_incident(
-                        result, "policy-error", now,
-                        job_ids=tuple(j.job_id for j in active_list[:5]),
-                        exc=exc,
-                    )
-                    if policy_failures >= self.max_policy_incidents:
-                        raise SimulationError(
-                            f"policy {self.policy.name!r} failed "
-                            f"{policy_failures} consecutive rounds",
-                            incidents=tuple(result.incidents),
-                        ) from exc
-                    steady = False
-                    next_time = calendar.next_event_time(now, active_list)
-                    self._advance(now, next_time, active_list, gpu_seconds)
-                    now = next_time
-                    continue
-                result.policy_wall_seconds += _time.perf_counter() - wall  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
-                result.policy_invocations += 1
-                policy_failures = 0
-                changed = self._apply(
-                    allocations, active_list, cluster, now, calendar,
-                    diff=fast, result=result,
-                )
-                # The next rounds may skip the policy only if: the fast path
-                # is on; models cannot refit (refit observations happen in
-                # `_apply`, so skipping would starve the refitter); this
-                # round was a no-op fixed point; no job is mid-pause (the
-                # resume is a time-driven status flip the policy observes);
-                # and the policy declares itself time-insensitive in this
-                # state (`steady_state` — e.g. Rubick keeps running while a
-                # queued best-effort job could cross the starvation
-                # threshold or a reconfiguration gate is still closed).
-                steady = (
-                    fast
-                    and self.online_refitter is None
-                    and not changed
-                    and any(j.is_running for j in active_list)
-                    and all(
-                        j.status != JobStatus.PAUSED for j in active_list
-                    )
-                    and self.policy.steady_state(active_list, ctx)
-                )
-
-                # Deadlock guard: nothing running, nothing arriving, queue
-                # stuck.  Pending cluster events disarm it: a recovery or
-                # scale-up may be exactly what unblocks the queue.
-                if (
-                    not any(j.is_running for j in active_list)
-                    and not calendar.has_arrivals
-                    and not calendar.has_cluster_events
-                ):
-                    idle_rounds += 1
-                    if idle_rounds > 3:
-                        stuck = ", ".join(j.job_id for j in active_list[:5])
-                        message = (
-                            f"policy {self.policy.name!r} cannot place "
-                            f"remaining jobs ({stuck} ...) on an empty "
-                            f"cluster"
-                        )
-                        # The watchdog reports through the same incident
-                        # stream as contained faults before escalating.
-                        self._record_incident(
-                            result, "deadlock", now,
-                            job_ids=tuple(
-                                j.job_id for j in active_list[:5]
-                            ),
-                            message=message,
-                        )
-                        raise SimulationError(
-                            message, incidents=tuple(result.incidents)
-                        )
-                else:
-                    idle_rounds = 0
-
-            # --- choose the next event time ------------------------------
-            next_time = calendar.next_event_time(now, active_list)
-            self._advance(now, next_time, active_list, gpu_seconds)
-            now = next_time
-
+    def _finalize(self, st: _LiveRun) -> None:
+        result = st.result
         bounds = result.span_bounds()
         result.makespan = bounds[1] - bounds[0] if bounds else 0.0
-        result.calendar_fast_rounds = calendar.fast_rounds
-        result.calendar_exact_scans = calendar.exact_scans
-        result.sim_wall_seconds = _time.perf_counter() - wall_start  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
-        return result
+        result.calendar_fast_rounds = st.calendar.fast_rounds
+        result.calendar_exact_scans = st.calendar.exact_scans
+        st.finished = True
 
-    # ------------------------------------------------------------------
-    # Scale mode: round-based scheduling + lazy advancement
-    # ------------------------------------------------------------------
-    def _run_scale(
+    def run(
         self,
         trace: Trace,
         *,
         tenants: dict[str, Tenant] | None = None,
         cluster_events: Sequence[ClusterEvent] | None = None,
     ) -> SimulationResult:
+        """Replay a whole trace to completion.
+
+        A thin wrapper over the incremental core: opens a session with the
+        stream already closed and takes one unbounded step.  Byte-identical
+        to the pre-step() monolithic loop (golden-tested across all
+        policies, both loop modes, dynamics on/off).
+        """
+        self.start(trace, tenants=tenants, cluster_events=cluster_events)
+        self.step(until=float("inf"))
+        return self._live.result
+
+    # ------------------------------------------------------------------
+    # Default loop (one until-bounded slice per call)
+    # ------------------------------------------------------------------
+    def _step_default(self, st: _LiveRun, until: float | None) -> str:
+        """Default event loop, sliced.
+
+        The body is the pre-step() ``run`` loop; session state is loaded
+        into locals on entry and stored back in the ``finally`` so the hot
+        loop keeps its local-variable speed (``run()`` makes exactly one
+        call here, paying the load/store once per run).
+        """
+        result = st.result
+        cluster = st.cluster
+        calendar = st.calendar
+        active = st.active
+        gpu_seconds = st.gpu_seconds
+        ctx = st.ctx
+        fast = self.fast_path
+        steady = st.steady
+        idle_rounds = st.idle_rounds
+        policy_failures = st.policy_failures
+        seq = st.seq
+        now = st.now
+        outcome = _CONTINUE
+        try:
+            while until is None or now < until:
+                # --- admit arrivals at `now` -------------------------------
+                arrived = False
+                for tj in calendar.pop_arrivals(now + _EPS):
+                    job = self._make_job(tj)
+                    job.seq = seq
+                    seq += 1
+                    active[job.job_id] = job
+                    gpu_seconds[job.job_id] = 0.0
+                    arrived = True
+
+                # --- detect completions ------------------------------------
+                finished = False
+                finished_now = [
+                    j
+                    for j in active.values()
+                    if j.is_running and j.remaining_samples <= _EPS
+                ]
+                for job in finished_now:
+                    job.status = JobStatus.FINISHED
+                    job.finish_time = now
+                    job.throughput = 0.0
+                    cluster.release(job.job_id)
+                    calendar.invalidate(job.job_id)
+                    del active[job.job_id]
+                    result.add_record(
+                        JobRecord.from_job(job, gpu_seconds[job.job_id])
+                    )
+                    finished = True
+
+                # --- apply cluster dynamics at `now` ------------------------
+                # After completions (a job finishing exactly at a failure
+                # instant keeps its completion), before the policy: victims
+                # are already re-queued with cleared placements when the
+                # scheduler next runs — which it must, so a dynamics round is
+                # treated like an arrival by the steady-state gating below.
+                cluster_changed = False
+                for event in calendar.pop_cluster_events(now + _EPS):
+                    self._apply_cluster_event(
+                        event, cluster, active, now, calendar, result
+                    )
+                    result.cluster_events += 1
+                    cluster_changed = True
+
+                # --- termination / stream pause -----------------------------
+                if not active and not calendar.has_arrivals:
+                    if st.stream_open:
+                        # Live session with a drained queue: pause before the
+                        # round is counted.  The slice that resumes after the
+                        # next submission re-runs this round — with the
+                        # short-circuit disarmed, so the policy observes the
+                        # arrivals exactly as a batch round would have.
+                        steady = False
+                        outcome = _IDLE
+                    else:
+                        outcome = _DONE
+                    break
+                if now > self.max_sim_time:
+                    raise SimulationError(
+                        f"simulation exceeded max_sim_time={self.max_sim_time}; "
+                        f"{len(active)} jobs still active"
+                    )
+
+                # --- run the policy -----------------------------------------
+                result.sim_rounds += 1
+                active_list = list(active.values())
+                if steady and not arrived and not finished and not cluster_changed:
+                    # Steady-state short-circuit: nothing the policy's decision
+                    # depends on has changed since it last ran, so invoking it
+                    # would reproduce the current allocation verbatim.
+                    result.policy_skips += 1
+                    idle_rounds = 0  # steady state implies running jobs
+                else:
+                    ctx.now = now
+                    wall = _time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
+                    contained = False
+                    try:
+                        if self.injector is not None:
+                            self.injector.check("policy-round")
+                        allocations = self.policy.schedule(
+                            active_list, cluster, ctx
+                        )
+                    except Exception as exc:
+                        # Containment: current placements hold for the round, a
+                        # structured incident lands on the result, and only N
+                        # consecutive failures escalate to a hard error.
+                        result.policy_wall_seconds += _time.perf_counter() - wall  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
+                        result.policy_invocations += 1
+                        policy_failures += 1
+                        self._record_incident(
+                            result, "policy-error", now,
+                            job_ids=tuple(j.job_id for j in active_list[:5]),
+                            exc=exc,
+                        )
+                        if policy_failures >= self.max_policy_incidents:
+                            raise SimulationError(
+                                f"policy {self.policy.name!r} failed "
+                                f"{policy_failures} consecutive rounds",
+                                incidents=tuple(result.incidents),
+                            ) from exc
+                        steady = False
+                        contained = True
+                    if not contained:
+                        result.policy_wall_seconds += _time.perf_counter() - wall  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
+                        result.policy_invocations += 1
+                        policy_failures = 0
+                        changed = self._apply(
+                            allocations, active_list, cluster, now, calendar,
+                            diff=fast, result=result,
+                        )
+                        # The next rounds may skip the policy only if: the fast path
+                        # is on; models cannot refit (refit observations happen in
+                        # `_apply`, so skipping would starve the refitter); this
+                        # round was a no-op fixed point; no job is mid-pause (the
+                        # resume is a time-driven status flip the policy observes);
+                        # and the policy declares itself time-insensitive in this
+                        # state (`steady_state` — e.g. Rubick keeps running while a
+                        # queued best-effort job could cross the starvation
+                        # threshold or a reconfiguration gate is still closed).
+                        steady = (
+                            fast
+                            and self.online_refitter is None
+                            and not changed
+                            and any(j.is_running for j in active_list)
+                            and all(
+                                j.status != JobStatus.PAUSED for j in active_list
+                            )
+                            and self.policy.steady_state(active_list, ctx)
+                        )
+
+                        # Deadlock guard: nothing running, nothing arriving, queue
+                        # stuck.  Pending cluster events disarm it: a recovery or
+                        # scale-up may be exactly what unblocks the queue.
+                        if (
+                            not any(j.is_running for j in active_list)
+                            and not calendar.has_arrivals
+                            and not calendar.has_cluster_events
+                        ):
+                            idle_rounds += 1
+                            if idle_rounds > 3:
+                                stuck = ", ".join(
+                                    j.job_id for j in active_list[:5]
+                                )
+                                message = (
+                                    f"policy {self.policy.name!r} cannot place "
+                                    f"remaining jobs ({stuck} ...) on an empty "
+                                    f"cluster"
+                                )
+                                # The watchdog reports through the same incident
+                                # stream as contained faults before escalating.
+                                self._record_incident(
+                                    result, "deadlock", now,
+                                    job_ids=tuple(
+                                        j.job_id for j in active_list[:5]
+                                    ),
+                                    message=message,
+                                )
+                                raise SimulationError(
+                                    message, incidents=tuple(result.incidents)
+                                )
+                        else:
+                            idle_rounds = 0
+
+                # --- choose the next event time ------------------------------
+                next_time = calendar.next_event_time(now, active_list)
+                self._advance(now, next_time, active_list, gpu_seconds)
+                now = next_time
+                if until is None:
+                    break
+        finally:
+            # Stored back even when a SimulationError propagates: the
+            # session then reflects the state at escalation (the service
+            # layer reports it from here).
+            st.steady = steady
+            st.idle_rounds = idle_rounds
+            st.policy_failures = policy_failures
+            st.seq = seq
+            st.now = now
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Scale mode: round-based scheduling + lazy advancement, sliced
+    # ------------------------------------------------------------------
+    def _step_scale(self, st: _LiveRun, until: float | None) -> str:
         """Datacenter-scale loop (see the ``scale_mode`` constructor doc).
 
         Per-round work is O(events due this round), never O(active jobs):
@@ -574,37 +916,17 @@ class Simulator:
           round length instead of zero, which is what keeps fleet-scale
           scheduling tractable.
         """
-        wall_start = _time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
-        result = SimulationResult(
-            policy_name=self.policy.name,
-            trace_name=trace.name,
-            max_records=self.result_record_limit,
-        )
-        result.profiling_seconds = self._profile_models(trace, result)
-        cluster = Cluster(self.cluster_spec)
-        calendar = EventCalendar(
-            trace.jobs, self.tick_interval,
-            cluster_events=tuple(cluster_events or ()),
-        )
-        active: dict[str, Job] = {}
-        gpu_seconds: dict[str, float] = {}
-        ctx = SchedulingContext(
-            cluster_spec=self.cluster_spec,
-            perf_store=self.perf_store,
-            tenants=tenants or {},
-            reconfig_delta=self.reconfig_delta,
-        )
-
-        now = calendar.first_arrival_time(default=0.0)
-        #: Next instant the policy may run; the first dirty round runs it
-        #: immediately, after which rounds are ``tick_interval`` apart.
-        next_policy_at = now
-        #: Anything the policy's decision depends on changed since it last
-        #: ran (arrival, completion, cluster event).
-        dirty = False
-        #: Consecutive contained policy failures (reset on any success).
-        policy_failures = 0
-        seq = 0
+        result = st.result
+        cluster = st.cluster
+        calendar = st.calendar
+        active = st.active
+        gpu_seconds = st.gpu_seconds
+        ctx = st.ctx
+        now = st.now
+        next_policy_at = st.next_policy_at
+        dirty = st.dirty
+        policy_failures = st.policy_failures
+        seq = st.seq
         # Bound-method/attribute hoists: the loop below runs once per event
         # (~100k rounds on the datacenter leg), so repeated lookups are
         # measurable wall time.
@@ -616,153 +938,159 @@ class Simulator:
         active_get = active.get
         _RUNNING = JobStatus.RUNNING
         _PAUSED = JobStatus.PAUSED
-        while True:
-            cutoff = now + _EPS
-            # --- admit arrivals at `now` -------------------------------
-            for tj in pop_arrivals(cutoff):
-                job = _make_job(tj)
-                job.seq = seq
-                seq += 1
-                job.anchor_time = now
-                active[tj.job_id] = job
-                gpu_seconds[tj.job_id] = 0.0
-                dirty = True
+        outcome = _CONTINUE
+        try:
+            while until is None or now < until:
+                cutoff = now + _EPS
+                # --- admit arrivals at `now` -------------------------------
+                for tj in pop_arrivals(cutoff):
+                    job = _make_job(tj)
+                    job.seq = seq
+                    seq += 1
+                    job.anchor_time = now
+                    active[tj.job_id] = job
+                    gpu_seconds[tj.job_id] = 0.0
+                    dirty = True
 
-            # --- detect completions (heap-driven) -----------------------
-            finished_now: list[Job] = []
-            for job_id in pop_due_completions(cutoff):
-                job = active_get(job_id)
-                if job is None or (
-                    job.status is not _RUNNING and job.status is not _PAUSED
-                ):
-                    continue  # stale hint raced a same-round transition
-                _materialize(job, now, gpu_seconds)
-                if job.remaining_samples <= _EPS:
-                    finished_now.append(job)
-                else:
-                    # Ulp-level residue after many re-anchorings: push a
-                    # fresh hint for the (tiny) remainder.
-                    calendar.track(job, now)
-            for job in sorted(finished_now, key=lambda j: j.seq):
-                job_id = job.spec.job_id
-                job.status = JobStatus.FINISHED
-                job.finish_time = now
-                job.throughput = 0.0
-                cluster.release(job_id)
-                calendar.invalidate(job_id)
-                del active[job_id]
-                result.add_record(
-                    JobRecord.from_job(job, gpu_seconds[job_id])
-                )
-                dirty = True
+                # --- detect completions (heap-driven) -----------------------
+                finished_now: list[Job] = []
+                for job_id in pop_due_completions(cutoff):
+                    job = active_get(job_id)
+                    if job is None or (
+                        job.status is not _RUNNING and job.status is not _PAUSED
+                    ):
+                        continue  # stale hint raced a same-round transition
+                    _materialize(job, now, gpu_seconds)
+                    if job.remaining_samples <= _EPS:
+                        finished_now.append(job)
+                    else:
+                        # Ulp-level residue after many re-anchorings: push a
+                        # fresh hint for the (tiny) remainder.
+                        calendar.track(job, now)
+                for job in sorted(finished_now, key=lambda j: j.seq):
+                    job_id = job.spec.job_id
+                    job.status = JobStatus.FINISHED
+                    job.finish_time = now
+                    job.throughput = 0.0
+                    cluster.release(job_id)
+                    calendar.invalidate(job_id)
+                    del active[job_id]
+                    result.add_record(
+                        JobRecord.from_job(job, gpu_seconds[job_id])
+                    )
+                    dirty = True
 
-            # --- apply cluster dynamics at `now` ------------------------
-            for event in pop_cluster_events(cutoff):
-                self._apply_cluster_event(
-                    event, cluster, active, now, calendar, result,
-                    gpu_seconds=gpu_seconds,
-                )
-                result.cluster_events += 1
-                dirty = True
+                # --- apply cluster dynamics at `now` ------------------------
+                for event in pop_cluster_events(cutoff):
+                    self._apply_cluster_event(
+                        event, cluster, active, now, calendar, result,
+                        gpu_seconds=gpu_seconds,
+                    )
+                    result.cluster_events += 1
+                    dirty = True
 
-            # --- termination --------------------------------------------
-            if not active and not calendar.has_arrivals:
-                break
-            if now > self.max_sim_time:
-                raise SimulationError(
-                    f"simulation exceeded max_sim_time={self.max_sim_time}; "
-                    f"{len(active)} jobs still active"
-                )
-
-            result.sim_rounds += 1
-            # --- policy round (at most one per tick interval) -----------
-            if dirty and now + _EPS >= next_policy_at:
-                # Materialize every placed job before the policy observes or
-                # changes it: accrual up to `now` must use the pre-round
-                # configuration.
-                for job_id in cluster.all_job_ids():
-                    _materialize(active[job_id], now, gpu_seconds)
-                active_list = list(active.values())
-                ctx.now = now
-                wall = _time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
-                try:
-                    if self.injector is not None:
-                        self.injector.check("policy-round")
-                    allocations = self.policy.schedule(
-                        active_list, cluster, ctx
-                    )
-                except Exception as exc:
-                    # Same containment as the default loop: placements hold
-                    # for this round; the round clock still advances (so a
-                    # repeatedly-failing policy cannot pin the event loop
-                    # to one timestamp) and the batch stays dirty for the
-                    # next round's retry.
-                    result.policy_wall_seconds += _time.perf_counter() - wall  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
-                    result.policy_invocations += 1
-                    policy_failures += 1
-                    self._record_incident(
-                        result, "policy-error", now,
-                        job_ids=tuple(j.job_id for j in active_list[:5]),
-                        exc=exc,
-                    )
-                    if policy_failures >= self.max_policy_incidents:
-                        raise SimulationError(
-                            f"policy {self.policy.name!r} failed "
-                            f"{policy_failures} consecutive rounds",
-                            incidents=tuple(result.incidents),
-                        ) from exc
-                    next_policy_at = now + self.tick_interval
-                    now = calendar.next_event_time_lazy(
-                        now, policy_at=next_policy_at
-                    )
-                    continue
-                result.policy_wall_seconds += _time.perf_counter() - wall  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
-                result.policy_invocations += 1
-                policy_failures = 0
-                self._apply(
-                    allocations, active_list, cluster, now, calendar,
-                    diff=True, result=result,
-                )
-                for job in active_list:
-                    st = job.status
-                    if st is _RUNNING or st is _PAUSED:
-                        job.anchor_time = now
-                dirty = False
-                next_policy_at = now + self.tick_interval
-                # Deadlock guard: the policy is deterministic, so if it left
-                # nothing running and nothing external is pending, no later
-                # round can be any different — fail fast like the default
-                # loop's idle-round counter.
-                if (
-                    not any(j.is_running for j in active_list)
-                    and not calendar.has_arrivals
-                    and not calendar.has_cluster_events
-                ):
-                    stuck = ", ".join(j.job_id for j in active_list[:5])
-                    message = (
-                        f"policy {self.policy.name!r} cannot place "
-                        f"remaining jobs ({stuck} ...) on an empty cluster"
-                    )
-                    self._record_incident(
-                        result, "deadlock", now,
-                        job_ids=tuple(j.job_id for j in active_list[:5]),
-                        message=message,
-                    )
+                # --- termination / stream pause -----------------------------
+                if not active and not calendar.has_arrivals:
+                    outcome = _IDLE if st.stream_open else _DONE
+                    break
+                if now > self.max_sim_time:
                     raise SimulationError(
-                        message, incidents=tuple(result.incidents)
+                        f"simulation exceeded max_sim_time={self.max_sim_time}; "
+                        f"{len(active)} jobs still active"
                     )
 
-            # --- choose the next event time ------------------------------
-            now = calendar.next_event_time_lazy(
-                now, policy_at=next_policy_at if dirty else None
-            )
+                result.sim_rounds += 1
+                # --- policy round (at most one per tick interval) -----------
+                if dirty and now + _EPS >= next_policy_at:
+                    # Materialize every placed job before the policy observes or
+                    # changes it: accrual up to `now` must use the pre-round
+                    # configuration.
+                    for job_id in cluster.all_job_ids():
+                        _materialize(active[job_id], now, gpu_seconds)
+                    active_list = list(active.values())
+                    ctx.now = now
+                    wall = _time.perf_counter()  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
+                    contained = False
+                    try:
+                        if self.injector is not None:
+                            self.injector.check("policy-round")
+                        allocations = self.policy.schedule(
+                            active_list, cluster, ctx
+                        )
+                    except Exception as exc:
+                        # Same containment as the default loop: placements hold
+                        # for this round; the round clock still advances (so a
+                        # repeatedly-failing policy cannot pin the event loop
+                        # to one timestamp) and the batch stays dirty for the
+                        # next round's retry.
+                        result.policy_wall_seconds += _time.perf_counter() - wall  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
+                        result.policy_invocations += 1
+                        policy_failures += 1
+                        self._record_incident(
+                            result, "policy-error", now,
+                            job_ids=tuple(j.job_id for j in active_list[:5]),
+                            exc=exc,
+                        )
+                        if policy_failures >= self.max_policy_incidents:
+                            raise SimulationError(
+                                f"policy {self.policy.name!r} failed "
+                                f"{policy_failures} consecutive rounds",
+                                incidents=tuple(result.incidents),
+                            ) from exc
+                        next_policy_at = now + self.tick_interval
+                        contained = True
+                    if not contained:
+                        result.policy_wall_seconds += _time.perf_counter() - wall  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
+                        result.policy_invocations += 1
+                        policy_failures = 0
+                        self._apply(
+                            allocations, active_list, cluster, now, calendar,
+                            diff=True, result=result,
+                        )
+                        for job in active_list:
+                            job_status = job.status
+                            if job_status is _RUNNING or job_status is _PAUSED:
+                                job.anchor_time = now
+                        dirty = False
+                        next_policy_at = now + self.tick_interval
+                        # Deadlock guard: the policy is deterministic, so if it
+                        # left nothing running and nothing external is pending,
+                        # no later round can be any different — fail fast like
+                        # the default loop's idle-round counter.
+                        if (
+                            not any(j.is_running for j in active_list)
+                            and not calendar.has_arrivals
+                            and not calendar.has_cluster_events
+                        ):
+                            stuck = ", ".join(j.job_id for j in active_list[:5])
+                            message = (
+                                f"policy {self.policy.name!r} cannot place "
+                                f"remaining jobs ({stuck} ...) on an empty cluster"
+                            )
+                            self._record_incident(
+                                result, "deadlock", now,
+                                job_ids=tuple(
+                                    j.job_id for j in active_list[:5]
+                                ),
+                                message=message,
+                            )
+                            raise SimulationError(
+                                message, incidents=tuple(result.incidents)
+                            )
 
-        bounds = result.span_bounds()
-        result.makespan = bounds[1] - bounds[0] if bounds else 0.0
-        result.calendar_fast_rounds = calendar.fast_rounds
-        result.calendar_exact_scans = calendar.exact_scans
-        result.sim_wall_seconds = _time.perf_counter() - wall_start  # repro-lint: disable=RPL001 -- wall-clock perf channel, never persisted (DESIGN.md 28)
-        return result
+                # --- choose the next event time ------------------------------
+                now = calendar.next_event_time_lazy(
+                    now, policy_at=next_policy_at if dirty else None
+                )
+                if until is None:
+                    break
+        finally:
+            st.now = now
+            st.next_policy_at = next_policy_at
+            st.dirty = dirty
+            st.policy_failures = policy_failures
+            st.seq = seq
+        return outcome
 
     def _materialize(
         self, job: Job, t: float, gpu_seconds: dict[str, float]

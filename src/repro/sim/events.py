@@ -17,6 +17,16 @@ replaces both with incremental state:
   steady-state policy short-circuit (the simulator treats it like an
   arrival when deciding whether the policy must run).
 
+* **Streamed submissions** — a live session (``Simulator.step`` driven by
+  the scheduling service) pushes arrivals and cluster events *after*
+  construction via :meth:`push_arrival` / :meth:`push_cluster_event`.
+  Pushed entries live in side min-heaps merged with the batch cursors on
+  every query; when nothing was pushed the heaps stay empty and every code
+  path is byte-identical to the batch-only calendar.  Ties between a batch
+  entry and a pushed entry go to the batch entry, and pushed entries at the
+  same time drain in push order, so a trace streamed one job at a time
+  admits in exactly the order the batch replay would.
+
 * **Predicted completions** — a lazily-invalidated min-heap of *anchored*
   completion events.  An event is pushed whenever a job starts, resumes from
   a reconfiguration pause, or changes throughput (allocation/plan changes),
@@ -82,6 +92,13 @@ class EventCalendar:
         #: (and re-invokes the policy) at the right instant.
         self._cluster_events = sorted(cluster_events, key=lambda e: e.time)
         self._cluster_cursor = 0
+        #: Live-session side channels: arrivals/cluster events pushed after
+        #: construction (streaming submissions).  ``(time, push_seq, item)``
+        #: heaps — the seq breaks time ties in push order and keeps the
+        #: payloads out of tuple comparison.  Empty for batch runs.
+        self._pushed_arrivals: list[tuple[float, int, object]] = []
+        self._pushed_events: list[tuple[float, int, object]] = []
+        self._push_seq = 0
         self._heap: list[tuple[float, int, str]] = []  # (time, epoch, job_id)
         self._epochs: dict[str, int] = {}
         #: Diagnostic counters, copied onto ``SimulationResult.calendar_*``
@@ -94,39 +111,105 @@ class EventCalendar:
     # ------------------------------------------------------------------
     @property
     def has_arrivals(self) -> bool:
-        return self._cursor < len(self._arrivals)
+        return bool(self._pushed_arrivals) or self._cursor < len(self._arrivals)
+
+    def push_arrival(self, tj) -> None:
+        """Enqueue a streamed job submission (live sessions only)."""
+        self._push_seq += 1
+        heapq.heappush(
+            self._pushed_arrivals, (tj.submit_time, self._push_seq, tj)
+        )
+
+    def _next_arrival_time(self) -> float | None:
+        time: float | None = None
+        if self._cursor < len(self._arrivals):
+            time = self._arrivals[self._cursor].submit_time
+        if self._pushed_arrivals:
+            pushed = self._pushed_arrivals[0][0]
+            if time is None or pushed < time:
+                time = pushed
+        return time
 
     def first_arrival_time(self, default: float = 0.0) -> float:
-        if not self.has_arrivals:
-            return default
-        return self._arrivals[self._cursor].submit_time
+        time = self._next_arrival_time()
+        return default if time is None else time
 
     def pop_arrivals(self, cutoff: float) -> Iterable:
-        """Consume and yield every arrival with ``submit_time <= cutoff``."""
+        """Consume and yield every arrival with ``submit_time <= cutoff``.
+
+        Merges the sorted batch cursor with pushed (streamed) arrivals in
+        time order; the batch entry wins ties so a partially-streamed trace
+        admits in batch order.
+        """
         arrivals = self._arrivals
-        while self._cursor < len(arrivals):
-            tj = arrivals[self._cursor]
-            if tj.submit_time > cutoff:
-                break
-            self._cursor += 1
-            yield tj
+        pushed = self._pushed_arrivals
+        while True:
+            batch_t = (
+                arrivals[self._cursor].submit_time
+                if self._cursor < len(arrivals)
+                else None
+            )
+            push_t = pushed[0][0] if pushed else None
+            if (
+                batch_t is not None
+                and batch_t <= cutoff
+                and (push_t is None or batch_t <= push_t)
+            ):
+                tj = arrivals[self._cursor]
+                self._cursor += 1
+                yield tj
+            elif push_t is not None and push_t <= cutoff:
+                yield heapq.heappop(pushed)[2]
+            else:
+                return
 
     # ------------------------------------------------------------------
     # Cluster-dynamics events (sorted-cursor drain, like arrivals)
     # ------------------------------------------------------------------
     @property
     def has_cluster_events(self) -> bool:
-        return self._cluster_cursor < len(self._cluster_events)
+        return bool(self._pushed_events) or (
+            self._cluster_cursor < len(self._cluster_events)
+        )
+
+    def push_cluster_event(self, event) -> None:
+        """Enqueue a streamed cluster-dynamics event (live sessions only)."""
+        self._push_seq += 1
+        heapq.heappush(self._pushed_events, (event.time, self._push_seq, event))
+
+    def _next_cluster_event_time(self) -> float | None:
+        time: float | None = None
+        if self._cluster_cursor < len(self._cluster_events):
+            time = self._cluster_events[self._cluster_cursor].time
+        if self._pushed_events:
+            pushed = self._pushed_events[0][0]
+            if time is None or pushed < time:
+                time = pushed
+        return time
 
     def pop_cluster_events(self, cutoff: float) -> Iterable:
         """Consume and yield every cluster event with ``time <= cutoff``."""
         events = self._cluster_events
-        while self._cluster_cursor < len(events):
-            event = events[self._cluster_cursor]
-            if event.time > cutoff:
-                break
-            self._cluster_cursor += 1
-            yield event
+        pushed = self._pushed_events
+        while True:
+            batch_t = (
+                events[self._cluster_cursor].time
+                if self._cluster_cursor < len(events)
+                else None
+            )
+            push_t = pushed[0][0] if pushed else None
+            if (
+                batch_t is not None
+                and batch_t <= cutoff
+                and (push_t is None or batch_t <= push_t)
+            ):
+                event = events[self._cluster_cursor]
+                self._cluster_cursor += 1
+                yield event
+            elif push_t is not None and push_t <= cutoff:
+                yield heapq.heappop(pushed)[2]
+            else:
+                return
 
     # ------------------------------------------------------------------
     # Completion events (anchored hints, epoch-invalidated)
@@ -208,14 +291,12 @@ class EventCalendar:
         candidates are recomputed exactly as the reference loop did.
         """
         next_time = now + self.tick_interval
-        if self.has_arrivals:
-            arrival = self._arrivals[self._cursor].submit_time
-            if arrival < next_time:
-                next_time = arrival
-        if self.has_cluster_events:
-            event_time = self._cluster_events[self._cluster_cursor].time
-            if event_time < next_time:
-                next_time = event_time
+        arrival = self._next_arrival_time()
+        if arrival is not None and arrival < next_time:
+            next_time = arrival
+        event_time = self._next_cluster_event_time()
+        if event_time is not None and event_time < next_time:
+            next_time = event_time
         hint = self._earliest_hint()
         if hint is None or hint > next_time + COMPLETION_SLACK:
             # No live completion event can precede the tick/arrival: anchored
@@ -247,14 +328,12 @@ class EventCalendar:
         decisions are pending).
         """
         next_time = now + self.tick_interval
-        if self.has_arrivals:
-            arrival = self._arrivals[self._cursor].submit_time
-            if arrival < next_time:
-                next_time = arrival
-        if self.has_cluster_events:
-            event_time = self._cluster_events[self._cluster_cursor].time
-            if event_time < next_time:
-                next_time = event_time
+        arrival = self._next_arrival_time()
+        if arrival is not None and arrival < next_time:
+            next_time = arrival
+        event_time = self._next_cluster_event_time()
+        if event_time is not None and event_time < next_time:
+            next_time = event_time
         if policy_at is not None and policy_at < next_time:
             next_time = policy_at
         hint = self._earliest_hint()

@@ -50,25 +50,43 @@ def plan_from_dict(data: dict[str, Any]) -> ExecutionPlan:
 # ----------------------------------------------------------------------
 # Traces
 # ----------------------------------------------------------------------
+def trace_job_to_dict(j: TraceJob) -> dict[str, Any]:
+    """One trace job as a plain dict — the payload of both trace documents
+    and the scheduling service's SUBMIT frames."""
+    return {
+        "job_id": j.job_id,
+        "model_name": j.model_name,
+        "submit_time": j.submit_time,
+        "requested_gpus": j.requested_gpus,
+        "requested_cpus": j.requested_cpus,
+        "duration": j.duration,
+        "global_batch": j.global_batch,
+        "priority": j.priority.value,
+        "tenant": j.tenant,
+        "initial_plan": plan_to_dict(j.initial_plan),
+    }
+
+
+def trace_job_from_dict(j: dict[str, Any]) -> TraceJob:
+    return TraceJob(
+        job_id=j["job_id"],
+        model_name=j["model_name"],
+        submit_time=float(j["submit_time"]),
+        requested_gpus=int(j["requested_gpus"]),
+        requested_cpus=int(j.get("requested_cpus", 0)),
+        duration=float(j["duration"]),
+        global_batch=int(j["global_batch"]),
+        priority=JobPriority(j["priority"]),
+        tenant=j["tenant"],
+        initial_plan=plan_from_dict(j["initial_plan"]),
+    )
+
+
 def trace_to_dict(trace: Trace) -> dict[str, Any]:
     return {
         "format_version": FORMAT_VERSION,
         "name": trace.name,
-        "jobs": [
-            {
-                "job_id": j.job_id,
-                "model_name": j.model_name,
-                "submit_time": j.submit_time,
-                "requested_gpus": j.requested_gpus,
-                "requested_cpus": j.requested_cpus,
-                "duration": j.duration,
-                "global_batch": j.global_batch,
-                "priority": j.priority.value,
-                "tenant": j.tenant,
-                "initial_plan": plan_to_dict(j.initial_plan),
-            }
-            for j in trace
-        ],
+        "jobs": [trace_job_to_dict(j) for j in trace],
     }
 
 
@@ -79,21 +97,7 @@ def trace_from_dict(data: dict[str, Any]) -> Trace:
             f"unsupported trace format version {version!r} "
             f"(expected {FORMAT_VERSION})"
         )
-    jobs = tuple(
-        TraceJob(
-            job_id=j["job_id"],
-            model_name=j["model_name"],
-            submit_time=float(j["submit_time"]),
-            requested_gpus=int(j["requested_gpus"]),
-            requested_cpus=int(j.get("requested_cpus", 0)),
-            duration=float(j["duration"]),
-            global_batch=int(j["global_batch"]),
-            priority=JobPriority(j["priority"]),
-            tenant=j["tenant"],
-            initial_plan=plan_from_dict(j["initial_plan"]),
-        )
-        for j in data["jobs"]
-    )
+    jobs = tuple(trace_job_from_dict(j) for j in data["jobs"])
     return Trace(jobs=jobs, name=data.get("name", "trace"))
 
 

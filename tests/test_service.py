@@ -1,0 +1,325 @@
+"""Live scheduling service: framing, step()/run() equivalence, streaming.
+
+Four contracts pinned here:
+
+* **Wire framing** — length-delimited JSON frames round-trip through
+  :class:`FrameDecoder` at every possible tear point, and stream damage
+  (oversized header, undecodable body, non-object payload) raises
+  :class:`ProtocolError` instead of desyncing silently.
+* **step() ≡ run()** — driving the engine with incremental ``step()``
+  slices (one round at a time, arbitrary ``until`` cuts, or one
+  ``step(inf)``) produces result documents byte-identical to ``run()``.
+* **Streamed ≡ batch** — pushing the same jobs/events mid-flight through
+  ``submit``/``post_cluster_event`` + ``step(until=t)`` (and through real
+  sockets via master/client) reproduces the batch run byte for byte in
+  virtual-clock mode.
+* **API shim** — legacy ``Simulator(..., seed=...)`` keyword construction
+  still works behind a one-release ``DeprecationWarning``; unknown
+  keywords stay a ``TypeError``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cluster import PAPER_CLUSTER
+from repro.cluster.dynamics import resolve_dynamics
+from repro.cluster.topology import ClusterSpec
+from repro.errors import ProtocolError
+from repro.oracle import SyntheticTestbed
+from repro.scheduler.registry import make_policy
+from repro.service import (
+    FrameDecoder,
+    ServiceClient,
+    ServiceMaster,
+    VirtualClock,
+    encode_frame,
+    metrics_payload,
+    replay,
+)
+from repro.service import protocol
+from repro.sim import EngineConfig, Simulator, WorkloadConfig, generate_trace
+from repro.sim.serialization import result_to_dict
+
+SMALL = ClusterSpec(num_nodes=2, node=PAPER_CLUSTER.node)
+SEED = 7
+
+
+def make_sim(policy: str = "rubick", seed: int = SEED) -> Simulator:
+    return Simulator(
+        SMALL,
+        make_policy(policy),
+        config=EngineConfig(seed=seed),
+        testbed=SyntheticTestbed(SMALL, seed=seed),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """(trace, cluster events) shared by the equivalence tests."""
+    testbed = SyntheticTestbed(SMALL, seed=SEED)
+    trace = generate_trace(
+        WorkloadConfig(num_jobs=10, seed=SEED, name="svc"), testbed
+    )
+    events = resolve_dynamics("flaky").events(
+        seed=1, span=12 * 3600.0, cluster=SMALL
+    )
+    return trace, events
+
+
+def doc_of(result) -> str:
+    return json.dumps(result_to_dict(result), sort_keys=True, allow_nan=False)
+
+
+# ----------------------------------------------------------------------
+# Wire framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"type": "STATUS", "n": 3, "x": [1.5, None, "é"]}
+        frames = FrameDecoder().feed(encode_frame(payload))
+        assert frames == [payload]
+
+    def test_multiple_frames_one_feed(self):
+        payloads = [{"i": i} for i in range(5)]
+        blob = b"".join(encode_frame(p) for p in payloads)
+        assert FrameDecoder().feed(blob) == payloads
+
+    def test_torn_frames_every_split_point(self):
+        payloads = [{"type": "SUBMIT", "job": {"id": "a" * 40}}, {"k": 2}]
+        blob = b"".join(encode_frame(p) for p in payloads)
+        for split in range(1, len(blob)):
+            decoder = FrameDecoder()
+            got = decoder.feed(blob[:split]) + decoder.feed(blob[split:])
+            assert got == payloads, f"split at byte {split}"
+            assert decoder.pending_bytes == 0
+
+    def test_byte_at_a_time(self):
+        payload = {"type": "DRAIN", "trace_name": "t"}
+        decoder = FrameDecoder()
+        got = []
+        for i, byte in enumerate(encode_frame(payload)):
+            got += decoder.feed(bytes([byte]))
+        assert got == [payload]
+
+    def test_oversized_header_is_stream_damage(self):
+        header = struct.pack(">I", protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="MAX_FRAME_BYTES"):
+            FrameDecoder().feed(header)
+
+    def test_undecodable_body(self):
+        body = b"{not json"
+        blob = struct.pack(">I", len(body)) + body
+        with pytest.raises(ProtocolError, match="undecodable"):
+            FrameDecoder().feed(blob)
+
+    def test_non_object_payload(self):
+        body = b"[1, 2, 3]"
+        blob = struct.pack(">I", len(body)) + body
+        with pytest.raises(ProtocolError, match="JSON object"):
+            FrameDecoder().feed(blob)
+
+    def test_encode_rejects_non_dict(self):
+        with pytest.raises(ProtocolError, match="dict"):
+            encode_frame([1, 2])
+
+    def test_encode_rejects_nan(self):
+        with pytest.raises(ValueError):
+            encode_frame({"x": float("nan")})
+
+
+# ----------------------------------------------------------------------
+# step() ≡ run()
+# ----------------------------------------------------------------------
+class TestStepRunEquivalence:
+    @pytest.mark.parametrize("policy", ["rubick", "sia", "synergy"])
+    def test_single_round_steps_match_run(self, workload, policy):
+        trace, events = workload
+        batch = doc_of(
+            make_sim(policy).run(trace, cluster_events=events)
+        )
+        sim = make_sim(policy)
+        sim.start(trace, cluster_events=events)
+        rounds = 0
+        while True:
+            report = sim.step()  # until=None: exactly one round
+            rounds += report.rounds
+            if report.done:
+                break
+        assert doc_of(sim.result()) == batch
+        assert rounds == sim.result().sim_rounds
+
+    def test_arbitrary_until_cuts_match_run(self, workload):
+        trace, events = workload
+        batch = doc_of(make_sim().run(trace, cluster_events=events))
+        sim = make_sim()
+        sim.start(trace, cluster_events=events)
+        for cut in (1800.0, 7200.0, 7200.0, 30000.0):  # repeat = no-op
+            sim.step(until=cut)
+        report = sim.step(until=float("inf"))
+        assert report.done
+        assert doc_of(sim.result()) == batch
+
+    def test_step_after_done_returns_done_noop(self, workload):
+        trace, _ = workload
+        sim = make_sim()
+        sim.run(trace)
+        report = sim.step(until=float("inf"))
+        assert report.done and report.rounds == 0
+
+    def test_wall_clock_accrues_per_slice_but_never_persists(self, workload):
+        trace, _ = workload
+        sim = make_sim()
+        sim.start(trace)
+        report = sim.step(until=float("inf"))
+        assert report.wall_seconds > 0
+        result = sim.result()
+        assert result.sim_wall_seconds > 0
+        doc = result_to_dict(result)
+        assert "sim_wall_seconds" not in json.dumps(doc)
+        assert "policy_wall_seconds" not in json.dumps(doc)
+        metrics = metrics_payload(result)
+        assert "sim_wall_seconds" not in json.dumps(metrics)
+        assert "events_per_second" not in json.dumps(metrics)
+
+
+# ----------------------------------------------------------------------
+# Streamed submissions ≡ batch trace
+# ----------------------------------------------------------------------
+class TestStreamedDeterminism:
+    def test_mid_flight_stream_matches_batch(self, workload):
+        trace, events = workload
+        batch = doc_of(make_sim().run(trace, cluster_events=events))
+
+        sim = make_sim()
+        sim.start(stream=True)
+        frames = sorted(
+            [(tj.submit_time, 0, tj) for tj in trace]
+            + [(ev.time, 1, ev) for ev in events],
+            key=lambda f: (f[0], f[1]),
+        )
+        for t, kind, item in frames:
+            if kind == 0:
+                sim.submit(item)
+            else:
+                sim.post_cluster_event(item)
+            sim.step(until=t)
+        sim.drain(trace_name=trace.name)
+        while not sim.step(until=float("inf")).done:
+            pass
+        assert doc_of(sim.result()) == batch
+
+    def test_duplicate_submit_rejected(self, workload):
+        trace, _ = workload
+        sim = make_sim()
+        sim.start(stream=True)
+        sim.submit(trace.jobs[0])
+        with pytest.raises(ValueError, match="duplicate"):
+            sim.submit(trace.jobs[0])
+
+    def test_submit_behind_clock_needs_clamp(self, workload):
+        trace, _ = workload
+        jobs = trace.jobs  # already sorted by submit_time
+        sim = make_sim()
+        sim.start(stream=True)
+        sim.submit(jobs[-1])
+        sim.step(until=jobs[-1].submit_time + 1.0)
+        with pytest.raises(ValueError, match="behind"):
+            sim.submit(jobs[0])
+        clamped = sim.submit(jobs[0], clamp=True)
+        assert clamped.submit_time >= jobs[-1].submit_time
+
+
+# ----------------------------------------------------------------------
+# Master/daemon loopback over real sockets
+# ----------------------------------------------------------------------
+def start_master(sim, **kwargs):
+    master = ServiceMaster(sim, clock=VirtualClock(), **kwargs)
+    master.bind()
+    thread = threading.Thread(target=master.serve_forever, daemon=True)
+    thread.start()
+    return master, thread
+
+
+class TestLoopback:
+    def test_replay_matches_batch_and_drains_clean(self, workload):
+        trace, events = workload
+        batch = doc_of(make_sim().run(trace, cluster_events=events))
+        master, thread = start_master(make_sim())
+        with ServiceClient(port=master.port) as client:
+            status = client.status()
+            assert status["state"] == "streaming"
+            metrics = client.metrics()
+            assert metrics["completed"] == 0
+            report = replay(trace, client, events=events)
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "master did not exit after DRAIN"
+        assert report.jobs == len(trace)
+        assert json.dumps(report.result, sort_keys=True) == batch
+
+    def test_rejected_frame_keeps_connection_alive(self, workload):
+        trace, _ = workload
+        master, thread = start_master(make_sim())
+        with ServiceClient(port=master.port) as client:
+            client.submit_job(trace.jobs[0])
+            with pytest.raises(ProtocolError, match="SUBMIT rejected"):
+                client.submit_job(trace.jobs[0])  # duplicate job id
+            with pytest.raises(ProtocolError, match="unknown frame type"):
+                client.request({"type": "BOGUS"})
+            # The connection survived both rejections.
+            assert client.status()["admitted"] >= 0
+            client.drain(trace.name)
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+
+    def test_daemon_lost_mid_frame_does_not_kill_session(self, workload):
+        trace, _ = workload
+        master, thread = start_master(make_sim())
+        # A daemon dies mid-frame: half a SUBMIT then EOF.
+        torn = socket.create_connection(("127.0.0.1", master.port))
+        blob = encode_frame({"type": "SUBMIT", "job": {}})
+        torn.sendall(blob[: len(blob) // 2])
+        torn.close()
+        # The session is unharmed; a replacement client streams and drains.
+        with ServiceClient(port=master.port) as client:
+            report = replay(trace, client)
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert report.result is not None
+        assert report.result["summary"]["jobs"] == len(trace)
+
+
+# ----------------------------------------------------------------------
+# Config / deprecation shim
+# ----------------------------------------------------------------------
+class TestEngineConfigShim:
+    def test_legacy_keywords_warn_and_apply(self):
+        with pytest.warns(DeprecationWarning, match="EngineConfig"):
+            sim = Simulator(
+                SMALL,
+                make_policy("rubick"),
+                testbed=SyntheticTestbed(SMALL, seed=5),
+                seed=5,
+                fast_path=False,
+            )
+        assert sim.config.seed == 5
+        assert sim.config.fast_path is False
+
+    def test_unknown_keyword_is_type_error(self):
+        with pytest.raises(TypeError, match="bogus_knob"):
+            Simulator(
+                SMALL,
+                make_policy("rubick"),
+                testbed=SyntheticTestbed(SMALL, seed=0),
+                bogus_knob=1,
+            )
+
+    def test_config_is_frozen(self):
+        config = EngineConfig(seed=9)
+        with pytest.raises(AttributeError):
+            config.seed = 10
