@@ -30,6 +30,7 @@ they historically used.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -58,6 +59,7 @@ from repro.experiments import (
 from repro.errors import (
     ClusterDynamicsError,
     FaultPlanError,
+    InjectedFault,
     ProtocolError,
     SimulationError,
     WorkloadError,
@@ -65,6 +67,7 @@ from repro.errors import (
 from repro.experiments.spec import VARIANTS
 from repro.faults import (
     NO_FAULTS_NAME,
+    incident_payload,
     list_fault_plans,
     resolve_fault_plan,
 )
@@ -324,6 +327,32 @@ def _bad_scenarios(names) -> bool:
     return bool(bad)
 
 
+def _contained_execute(run, injector):
+    """Execute one run, containing armed injected faults (RPL010).
+
+    A fault that escapes the runner's own retry/quarantine path must not
+    surface as a raw traceback: the incident record *is* the contract.
+    Returns the execution, or ``None`` after printing the incident record
+    (the caller exits 3 — distinct from usage errors so chaos sweeps can
+    tell "fault fired" from "bad invocation").  Without an injector the
+    exception propagates unchanged: a real simulation bug is not an
+    incident to swallow.
+    """
+    try:
+        return execute_run(run, injector=injector)
+    except (SimulationError, InjectedFault) as exc:
+        if injector is None:
+            raise
+        print("run terminated by injected fault; incident record:")
+        print(
+            json.dumps(
+                incident_payload(exc), indent=1, sort_keys=True,
+                allow_nan=False,
+            )
+        )
+        return None
+
+
 def cmd_simulate(args) -> int:
     if _bad_scenarios([args.scenario]) or _bad_dynamics([args.dynamics]):
         return 2
@@ -332,7 +361,9 @@ def cmd_simulate(args) -> int:
         return rc
     run = _run_spec(args, args.policy)
     injector = plan.injector(run.run_key) if plan is not None else None
-    execution = execute_run(run, injector=injector)
+    execution = _contained_execute(run, injector)
+    if execution is None:
+        return 3
     result, trace = execution.result, execution.trace
     summary = result.summary()
     print(
@@ -366,7 +397,10 @@ def cmd_compare(args) -> int:
     for name in names:
         run = _run_spec(args, name)
         injector = plan.injector(run.run_key) if plan is not None else None
-        executions.append(execute_run(run, injector=injector))
+        execution = _contained_execute(run, injector)
+        if execution is None:
+            return 3
+        executions.append(execution)
     results = [e.result for e in executions]
     trace = executions[0].trace
     ref = results[0]

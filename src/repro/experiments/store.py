@@ -261,7 +261,7 @@ class RunStore:
         """
         self.leases_dir.mkdir(parents=True, exist_ok=True)
         path = self.lease_path_for(run_key)
-        payload = json.dumps({"pid": os.getpid()}, allow_nan=False)
+        payload = json.dumps({"pid": os.getpid()}, allow_nan=False)  # repro-lint: disable=RPL008 -- lease files are transient ownership markers, deleted on release and never part of a result document
         try:
             with open(path, "x") as fh:
                 fh.write(payload)

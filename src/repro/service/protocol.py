@@ -129,3 +129,49 @@ class FrameDecoder:
 
 def error_frame(message: str) -> dict:
     return {"type": ERROR, "error": message}
+
+
+#: Key contract per frame type: ``(required, optional)``.  ``required``
+#: keys must all be present; any key outside ``required | optional`` is a
+#: contract violation.  This registry is the single source of truth the
+#: RPL009 lint rule checks every literal frame dict against, so a frame
+#: shape change must land here *and* in the docstring table above — the
+#: linter fails on any construction site left behind.
+FRAME_SCHEMAS: dict[str, tuple[frozenset, frozenset]] = {
+    SUBMIT: (frozenset({"type", "job"}), frozenset()),
+    CLUSTER_EVENT: (frozenset({"type", "event"}), frozenset()),
+    STATUS: (frozenset({"type"}), frozenset({"status"})),
+    METRICS: (frozenset({"type"}), frozenset({"metrics"})),
+    DRAIN: (frozenset({"type"}), frozenset({"trace_name"})),
+    OK: (
+        frozenset({"type"}),
+        frozenset({"completed", "event", "job_id", "now"}),
+    ),
+    ERROR: (frozenset({"type", "error"}), frozenset()),
+    DRAINED: (
+        frozenset({"type", "result"}),
+        frozenset({"metrics", "note"}),
+    ),
+}
+
+
+def validate_frame(payload: dict) -> list[str]:
+    """Schema problems of one frame payload ([] when conformant).
+
+    Runtime companion of the static RPL009 check: the linter proves
+    literal construction sites conform; this helper covers frames built
+    dynamically (tests, external clients).
+    """
+    frame_type = payload.get("type")
+    if frame_type not in FRAME_SCHEMAS:
+        return [f"unknown frame type {frame_type!r}"]
+    required, optional = FRAME_SCHEMAS[frame_type]
+    problems = [
+        f"missing required key {key!r}"
+        for key in sorted(required - set(payload))
+    ]
+    problems.extend(
+        f"unexpected key {key!r}"
+        for key in sorted(set(payload) - required - optional)
+    )
+    return problems

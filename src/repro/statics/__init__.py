@@ -1,7 +1,10 @@
 """``repro.statics`` — the repo's AST-based invariant linter (``repro lint``).
 
 Static enforcement of the contracts the test suite can only check
-behaviorally:
+behaviorally.  RPL001–007 are per-file rules; RPL008–010 are
+whole-program rules driven by the project call graph
+(:mod:`repro.statics.callgraph`) and the interprocedural dataflow engine
+(:mod:`repro.statics.dataflow`):
 
 ===== ==================================================================
 code  invariant
@@ -12,10 +15,15 @@ RPL003 Node/Cluster state mutates only through the SoA listener core
 RPL004 to_dict/from_dict pairing; json.dump(s) must pass allow_nan=False
 RPL005 store-derived memo caches must show model_version discipline
 RPL006 object.__setattr__ on frozen specs only during construction
+RPL007 no silently swallowed exceptions on incident-bearing paths
+RPL008 no entropy *flow* into persisted documents, through any calls
+RPL009 literal service frames conform to protocol.FRAME_SCHEMAS
+RPL010 armed fault seams cannot escape an entry point unrecorded
 ===== ==================================================================
 
 (Plus ``RPL000``: the linter's own hygiene — malformed, reasonless, or
-unused suppressions.)  See DESIGN.md item 40 and ``tests/test_statics.py``.
+unused suppressions.)  See DESIGN.md items 40 and 47, and
+``tests/test_statics.py``.
 """
 
 from repro.statics.baseline import (
@@ -25,17 +33,21 @@ from repro.statics.baseline import (
     save_baseline,
     split_against_baseline,
 )
+from repro.statics.callgraph import CallGraph, ProjectIndex
 from repro.statics.core import (
     META_CODE,
     Finding,
     ImportMap,
+    ProjectRule,
     Rule,
     SourceFile,
     parse_source,
 )
+from repro.statics.dataflow import Project
 from repro.statics.engine import (
     DEFAULT_TARGETS,
     LintReport,
+    apply_suppressions,
     collect_files,
     lint_file,
     repo_root,
@@ -45,15 +57,20 @@ from repro.statics.rules import all_rules, rules_by_code
 
 __all__ = [
     "BaselineEntry",
+    "CallGraph",
     "DEFAULT_BASELINE",
     "DEFAULT_TARGETS",
     "Finding",
     "ImportMap",
     "LintReport",
     "META_CODE",
+    "Project",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
     "SourceFile",
     "all_rules",
+    "apply_suppressions",
     "collect_files",
     "lint_file",
     "load_baseline",

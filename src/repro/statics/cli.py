@@ -25,8 +25,15 @@ def add_lint_parser(sub: argparse._SubParsersAction) -> None:
         help="AST-based invariant linter over the repo's own source",
         description=(
             "Enforces the determinism/lockstep/serialization/cache "
-            "contracts (rules RPL001-RPL007) at lint time. "
-            "See DESIGN.md item 40."
+            "contracts at lint time: per-file rules RPL001-RPL007 plus "
+            "the whole-program flow rules RPL008-RPL010 (call graph + "
+            "interprocedural taint). See DESIGN.md items 40 and 47."
+        ),
+        epilog=(
+            "exit codes: 0 clean against the baseline; 1 new findings "
+            "(or, with --check-baseline, stale baseline entries); "
+            "2 usage error (unknown rule code, missing target, "
+            "incompatible flags)."
         ),
     )
     p.add_argument(
@@ -75,6 +82,47 @@ def add_lint_parser(sub: argparse._SubParsersAction) -> None:
         action="store_true",
         help="print every registered rule with its rationale and exit",
     )
+    p.add_argument(
+        "--paths",
+        nargs="+",
+        default=None,
+        metavar="FILE",
+        help=(
+            "lint only these files (pre-commit-speed subset run); the "
+            "whole-program context still spans the default targets so "
+            "cross-file flows resolve, but the baseline gate is never "
+            "touched: every finding in the subset reports as new, and "
+            "--check-baseline/--update-baseline are rejected"
+        ),
+    )
+    p.add_argument(
+        "--call-graph",
+        default=None,
+        metavar="OUT.json",
+        help=(
+            "also write the project call graph (sorted, diffable JSON) "
+            "to this path"
+        ),
+    )
+    p.add_argument(
+        "--explain",
+        default=None,
+        metavar="CODE:PATH:LINE",
+        help=(
+            "print the interprocedural taint/escape path behind one "
+            "finding, e.g. --explain "
+            "RPL008:src/repro/experiments/runner.py:569"
+        ),
+    )
+    p.add_argument(
+        "--summary-cache",
+        default=None,
+        metavar="CACHE.json",
+        help=(
+            "content-hash-keyed per-file facts cache: warm runs "
+            "re-extract only changed files"
+        ),
+    )
     p.set_defaults(func=cmd_lint)
 
 
@@ -92,8 +140,28 @@ def cmd_lint(args) -> int:
     except ValueError as exc:
         print(str(exc))
         return 2
+    explain = None
+    if args.explain:
+        explain = _parse_explain(args.explain)
+        if explain is None:
+            print(
+                "--explain expects CODE:PATH:LINE, e.g. "
+                "RPL008:src/repro/experiments/runner.py:569"
+            )
+            return 2
+    targets = tuple(args.targets)
+    project_targets: tuple[str, ...] | None = None
+    if args.paths is not None:
+        if args.check_baseline or args.update_baseline:
+            print(
+                "--paths is a subset run and never touches the baseline "
+                "gate; drop --check-baseline/--update-baseline"
+            )
+            return 2
+        targets = tuple(args.paths)
+        project_targets = DEFAULT_TARGETS
     missing = [
-        t for t in args.targets if not (root / t).exists()
+        t for t in targets if not (root / t).exists()
     ]
     if missing:
         print(
@@ -101,13 +169,40 @@ def cmd_lint(args) -> int:
         )
         return 2
     baseline_path = root / args.baseline
-    baseline = None if args.no_baseline else load_baseline(baseline_path)
+    if args.paths is not None or args.no_baseline:
+        baseline = None
+    else:
+        baseline = load_baseline(baseline_path)
     report = run_lint(
         root=root,
-        targets=tuple(args.targets),
+        targets=targets,
         rules=rules,
         baseline=baseline,
+        project_targets=project_targets,
+        cache_path=Path(args.summary_cache) if args.summary_cache else None,
     )
+
+    if args.call_graph:
+        graph = report.project
+        if graph is None:
+            print(
+                "--call-graph needs a project rule in the run "
+                "(drop --select or include RPL008/RPL009/RPL010)"
+            )
+            return 2
+        Path(args.call_graph).write_text(
+            json.dumps(
+                graph.call_graph_dict(),
+                indent=1,
+                sort_keys=True,
+                allow_nan=False,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    if explain is not None:
+        return _cmd_explain(report, explain)
 
     if args.update_baseline:
         save_baseline(baseline_path, report.findings)
@@ -143,4 +238,44 @@ def cmd_lint(args) -> int:
         return 1
     if args.check_baseline and report.stale:
         return 1
+    return 0
+
+
+def _parse_explain(spec: str) -> tuple[str, str, int] | None:
+    """``"CODE:PATH:LINE"`` -> ``(code, path, line)`` (None when bad)."""
+    parts = spec.rsplit(":", 1)
+    if len(parts) != 2 or not parts[1].isdigit():
+        return None
+    head, line = parts[0], int(parts[1])
+    code, sep, path = head.partition(":")
+    if not sep or not code or not path:
+        return None
+    return (code, path, line)
+
+
+def _cmd_explain(report, explain: tuple[str, str, int]) -> int:
+    code, path, line = explain
+    matched = [
+        (f, False)
+        for f in report.findings
+        if f.code == code and f.path == path and f.line == line
+    ]
+    matched.extend(
+        (f, True)
+        for f in report.silenced
+        if f.code == code and f.path == path and f.line == line
+    )
+    if not matched:
+        print(
+            f"no finding {code} at {path}:{line} "
+            "(fixed findings have no path to explain)"
+        )
+        return 1
+    for finding, silenced in matched:
+        suffix = " [suppressed inline]" if silenced else ""
+        print(finding.format() + suffix)
+        if finding.explanation:
+            print(finding.explanation)
+        else:
+            print("(per-file finding: no interprocedural path)")
     return 0

@@ -55,6 +55,10 @@ class Finding:
     code: str
     message: str
     content: str = ""
+    #: Optional multi-line taint/escape path for ``--explain``.  Excluded
+    #: from ordering and equality so baseline identity and report sort
+    #: order are unchanged by explanation wording.
+    explanation: str = field(default="", compare=False)
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
@@ -202,6 +206,26 @@ class Rule:
         return True
 
     def check(self, src: SourceFile) -> list[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole program, not one file.
+
+    Project rules run after every target parses, against the shared
+    :class:`repro.statics.dataflow.Project` (call graph + interprocedural
+    summaries).  They emit ordinary :class:`Finding`\\ s — ``applies_to``
+    filters which files their findings may *anchor* in, and the engine
+    routes each finding back through that file's suppression map, so the
+    baseline/suppression contract is identical to per-file rules.
+    """
+
+    def check(self, src: SourceFile) -> list[Finding]:
+        return []
+
+    def check_project(
+        self, project: "object"
+    ) -> list[Finding]:  # pragma: no cover
         raise NotImplementedError
 
 

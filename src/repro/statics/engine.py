@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 from repro.statics.baseline import (
     BaselineEntry,
@@ -19,10 +20,12 @@ from repro.statics.baseline import (
 from repro.statics.core import (
     META_CODE,
     Finding,
+    ProjectRule,
     Rule,
     SourceFile,
     parse_source,
 )
+from repro.statics.dataflow import Project
 from repro.statics.rules import all_rules
 
 #: Default lint targets, repo-root-relative.  ``tests/`` is deliberately
@@ -59,6 +62,11 @@ class LintReport:
     stale: list[BaselineEntry] = field(default_factory=list)
     suppressed: int = 0
     files_scanned: int = 0
+    #: Findings silenced by inline suppressions (kept for ``--explain``).
+    silenced: list[Finding] = field(default_factory=list)
+    #: The whole-program context, when any :class:`ProjectRule` ran
+    #: (exposes the call graph and taint paths to the CLI).
+    project: Any = None
 
     @property
     def gate_failures(self) -> int:
@@ -92,23 +100,38 @@ class LintReport:
 def lint_file(src: SourceFile, rules: tuple[Rule, ...]) -> tuple[list[Finding], int]:
     """``(findings, suppressed_count)`` for one parsed file.
 
-    Suppressions are honored per (line, code); every suppression must earn
-    its keep — one that silences nothing becomes an RPL000 finding, so the
-    inline inventory can only shrink when the code it excuses does.
+    Per-file rules only — project rules need the whole tree and are run
+    by :func:`run_lint`; their findings flow through
+    :func:`apply_suppressions` exactly like these.
     """
     raw: list[Finding] = []
     for rule in rules:
-        if not rule.applies_to(src.rel):
+        if isinstance(rule, ProjectRule) or not rule.applies_to(src.rel):
             continue
         raw.extend(rule.check(src))
+    findings, silenced = apply_suppressions(src, raw)
+    return findings, len(silenced)
+
+
+def apply_suppressions(
+    src: SourceFile, raw: list[Finding]
+) -> tuple[list[Finding], list[Finding]]:
+    """``(active, silenced)`` after the file's suppression map.
+
+    Suppressions are honored per (line, code); every suppression must earn
+    its keep — one that silences nothing becomes an RPL000 finding, so the
+    inline inventory can never rot silently.  Silenced findings are
+    returned (not discarded) so ``--explain`` can still show the taint
+    path behind a justified suppression.
+    """
     findings: list[Finding] = list(src.meta_findings)
     used: set[tuple[int, str]] = set()
-    suppressed = 0
+    silenced: list[Finding] = []
     for finding in sorted(raw):
         directive = src.suppressions.get(finding.line)
         if directive is not None and finding.code in directive.codes:
             used.add((finding.line, finding.code))
-            suppressed += 1
+            silenced.append(finding)
             continue
         findings.append(finding)
     for line in sorted(src.suppressions):
@@ -128,7 +151,7 @@ def lint_file(src: SourceFile, rules: tuple[Rule, ...]) -> tuple[list[Finding], 
                         content=src.line_content(line),
                     )
                 )
-    return sorted(findings), suppressed
+    return sorted(findings), silenced
 
 
 def run_lint(
@@ -137,11 +160,27 @@ def run_lint(
     targets: tuple[str, ...] = DEFAULT_TARGETS,
     rules: tuple[Rule, ...] | None = None,
     baseline: Counter | None = None,
+    project_targets: tuple[str, ...] | None = None,
+    cache_path: Path | None = None,
 ) -> LintReport:
-    """Lint the targets and split findings against the baseline."""
+    """Lint the targets and split findings against the baseline.
+
+    Two phases: every target parses first, then per-file rules run, then
+    project rules run once over the whole-program context built from
+    ``project_targets`` (default: the lint targets themselves; a subset
+    run can widen this so cross-file call resolution still sees the full
+    tree).  Project findings are kept only when they anchor in a scanned
+    file, and pass through that file's suppression map like any other
+    finding.  ``cache_path`` enables the content-hash-keyed per-file
+    facts cache (warm runs re-extract only changed files).
+    """
     root = (root or repo_root()).resolve()
     rules = rules if rules is not None else all_rules()
+    file_rules = tuple(r for r in rules if not isinstance(r, ProjectRule))
+    project_rules = tuple(r for r in rules if isinstance(r, ProjectRule))
     report = LintReport()
+    srcs: dict[str, SourceFile] = {}
+    raw_by_rel: dict[str, list[Finding]] = {}
     for path in collect_files(root, targets):
         try:
             rel = path.relative_to(root).as_posix()
@@ -152,9 +191,28 @@ def run_lint(
         if isinstance(parsed, Finding):  # syntax error
             report.findings.append(parsed)
             continue
-        findings, suppressed = lint_file(parsed, rules)
+        srcs[rel] = parsed
+        raw: list[Finding] = []
+        for rule in file_rules:
+            if rule.applies_to(rel):
+                raw.extend(rule.check(parsed))
+        raw_by_rel[rel] = raw
+    if project_rules:
+        project = Project.build(
+            root,
+            collect_files(root, project_targets or targets),
+            cache_path=cache_path,
+        )
+        report.project = project
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                if finding.path in srcs and rule.applies_to(finding.path):
+                    raw_by_rel[finding.path].append(finding)
+    for rel in sorted(raw_by_rel):
+        findings, silenced = apply_suppressions(srcs[rel], raw_by_rel[rel])
         report.findings.extend(findings)
-        report.suppressed += suppressed
+        report.silenced.extend(silenced)
+        report.suppressed += len(silenced)
     report.findings.sort()
     report.new, report.grandfathered, report.stale = split_against_baseline(
         report.findings, baseline if baseline is not None else Counter()

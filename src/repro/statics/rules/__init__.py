@@ -17,6 +17,11 @@ from repro.statics.rules.determinism import (
     IterationOrderRule,
     NondeterminismRule,
 )
+from repro.statics.rules.flow import (
+    DeterminismFlowRule,
+    FrameConformanceRule,
+    SeamEscapeRule,
+)
 from repro.statics.rules.lockstep import LockstepRule
 from repro.statics.rules.robustness import SwallowedExceptionRule
 
@@ -33,6 +38,9 @@ def all_rules() -> tuple[Rule, ...]:
         CacheSoundnessRule(),
         FrozenMutationRule(),
         SwallowedExceptionRule(),
+        DeterminismFlowRule(),
+        FrameConformanceRule(),
+        SeamEscapeRule(),
     )
     return tuple(sorted(rules, key=lambda r: r.code))
 

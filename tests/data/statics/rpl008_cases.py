@@ -1,0 +1,64 @@
+"""RPL008 fixture: entropy flows into persisted documents.
+
+The positives are *interprocedural by construction*: the entropy source
+and the serialization sink live in different functions, so the per-line
+RPL001 rule can at best flag the source expression — only the flow
+analysis can connect it to the persisted document and anchor the finding
+where the value crosses into the sink.
+"""
+
+import hashlib
+import json
+import os
+import random
+import time
+
+
+def entropy_amount():
+    """Two-hop laundering, hop 1: the entropy is born here."""
+    return time.time() * 1.5
+
+
+def launder(value):
+    """Two-hop laundering, hop 2: wrapped in an innocent-looking doc."""
+    return {"amount": value}
+
+
+def persist(doc):
+    """A sink behind a parameter: callers decide what gets persisted."""
+    return json.dumps(doc, sort_keys=True, allow_nan=False)
+
+
+def positive_two_hop_laundering():
+    amount = entropy_amount()
+    doc = launder(amount)
+    return json.dumps(doc, sort_keys=True, allow_nan=False)
+
+
+def positive_cross_function_sink():
+    stamp = os.getpid()
+    return persist({"stamp": stamp})
+
+
+def positive_environ_digest():
+    host_tag = os.environ["HOST_TAG"]
+    return hashlib.sha256(host_tag.encode("utf-8")).hexdigest()
+
+
+def negative_seeded_rng_flow():
+    rng = random.Random(7)
+    return json.dumps({"draw": rng.random()}, allow_nan=False)
+
+
+def negative_sanitized_flow():
+    width = len(str(time.time()))
+    return json.dumps({"width": width}, allow_nan=False)
+
+
+def negative_no_sink():
+    return {"t": time.time()}
+
+
+def suppressed_case():
+    t = time.time()
+    return json.dumps({"t": t}, allow_nan=False)  # repro-lint: disable=RPL008 -- fixture: sanctioned wall-clock observability channel

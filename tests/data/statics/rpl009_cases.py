@@ -1,0 +1,38 @@
+"""RPL009 fixture: literal service frames vs ``protocol.FRAME_SCHEMAS``.
+
+Positives cover the three violation shapes — a key outside the schema
+(the classic typo'd key), a missing required key, and an unknown frame
+type.  Negatives pin the deliberate blind spots: ``**splat`` construction
+may supply required keys dynamically, and lowercase ``"type"`` values are
+not frame tags at all.
+"""
+
+from repro.service import protocol
+
+
+def positive_wrong_key():
+    return {"type": protocol.STATUS, "statu": "idle"}
+
+
+def positive_missing_required():
+    return {"type": protocol.SUBMIT}
+
+
+def positive_unknown_type():
+    return {"type": "SUBMITT", "job": {}}
+
+
+def negative_conformant_reply(now):
+    return {"type": protocol.OK, "job_id": "job-1", "now": now}
+
+
+def negative_splat_supplies_required(extra):
+    return {"type": protocol.SUBMIT, **extra}
+
+
+def negative_not_a_frame():
+    return {"type": "gauge", "value": 3}
+
+
+def suppressed_case():
+    return {"type": protocol.DRAIN, "jobs": 3}  # repro-lint: disable=RPL009 -- fixture: deliberately malformed frame for a rejection-path test

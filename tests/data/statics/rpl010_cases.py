@@ -1,0 +1,44 @@
+"""RPL010 fixture: armed fault seams escaping entry points.
+
+The seam sits two calls below the entry points; whether each entry is
+flagged depends only on how it arms and contains the chain — exactly the
+interprocedural judgment RPL007's per-handler check cannot make.
+"""
+
+from repro.faults import incident_payload
+
+
+def make_injector():
+    return None
+
+
+def seam_site(injector):
+    if injector is not None:
+        injector.check("fixture-seam")
+    return 1
+
+
+def middle(injector):
+    return seam_site(injector)
+
+
+def positive_entry():
+    injector = make_injector()
+    return middle(injector)
+
+
+def negative_guarded_entry():
+    injector = make_injector()
+    try:
+        return middle(injector)
+    except Exception as exc:
+        return incident_payload(exc)
+
+
+def negative_disarmed_entry():
+    return middle(None)
+
+
+def suppressed_case():
+    injector = make_injector()
+    return middle(injector)  # repro-lint: disable=RPL010 -- fixture: the escape is the point of this chaos probe

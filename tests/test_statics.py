@@ -169,10 +169,193 @@ class TestRuleFixtures:
         assert codes == sorted(codes)
         assert codes == [
             "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
-            "RPL007",
+            "RPL007", "RPL008", "RPL009", "RPL010",
         ]
         with pytest.raises(ValueError):
             rules_by_code(["RPL999"])
+
+
+# ----------------------------------------------------------------------
+# Whole-program flow rules (RPL008-010)
+# ----------------------------------------------------------------------
+#: Same shape as RULE_CASES, but these fixtures are linted with only the
+#: rule under test selected: they deliberately contain RPL001-visible
+#: source lines (that is the point — the flow rule must fire where the
+#: per-line rule cannot), so the single-rule-per-fixture invariant of
+#: RULE_CASES does not hold.
+FLOW_CASES = [
+    (
+        "rpl008_cases.py",
+        "RPL008",
+        3,
+        ["json.dumps(doc", 'persist({"stamp"', "hashlib.sha256"],
+    ),
+    (
+        "rpl009_cases.py",
+        "RPL009",
+        3,
+        ['"statu": "idle"', '{"type": protocol.SUBMIT}', '"SUBMITT"'],
+    ),
+    (
+        "rpl010_cases.py",
+        "RPL010",
+        1,
+        ["middle(injector)"],
+    ),
+]
+
+
+class TestFlowRuleFixtures:
+    @pytest.mark.parametrize(
+        "fixture,code,count,anchors",
+        FLOW_CASES,
+        ids=[c[1] for c in FLOW_CASES],
+    )
+    def test_positives_found_negatives_silent(
+        self, fixture, code, count, anchors
+    ):
+        report = lint_fixture(fixture, rules=rules_by_code([code]))
+        found = [f for f in report.findings if f.code == code]
+        assert len(found) == count, [f.format() for f in report.findings]
+        for finding in found:
+            assert "negative" not in finding.content
+            assert "suppressed" not in finding.content
+        for anchor in anchors:
+            hits = [f for f in found if anchor in f.content]
+            assert len(hits) == 1, (anchor, [f.content for f in found])
+        assert set(codes_of(report)) == {code}
+        # The fixture's one suppression directive was honored *and* used.
+        assert report.suppressed == 1
+        assert META_CODE not in codes_of(report)
+
+    @pytest.mark.parametrize(
+        "fixture,code,count,anchors",
+        FLOW_CASES,
+        ids=[c[1] for c in FLOW_CASES],
+    )
+    def test_fixture_detects_rule_disablement(
+        self, fixture, code, count, anchors
+    ):
+        others = tuple(r for r in all_rules() if r.code != code)
+        report = lint_fixture(fixture, rules=others)
+        assert code not in codes_of(report)
+        assert META_CODE in codes_of(report)
+
+    def test_rpl008_sees_the_two_hop_flow_rpl001_cannot(self):
+        """The acceptance demo: entropy born in one function, laundered
+        through a second, persisted in a third.  RPL001 flags the source
+        expression; only RPL008 connects it to the sink and anchors the
+        finding at the crossing."""
+        flow = lint_fixture(
+            "rpl008_cases.py", rules=rules_by_code(["RPL008"])
+        )
+        hit = next(f for f in flow.findings if "json.dumps(doc" in f.content)
+        assert hit.line == 35
+        assert "time.time (rpl008_cases.py:19)" in hit.message
+        # The finding carries the full hop trail for --explain.
+        assert "source time.time at rpl008_cases.py:19" in hit.explanation
+        assert (
+            "through rpl008_cases.entropy_amount()" in hit.explanation
+        )
+        assert "through rpl008_cases.launder()" in hit.explanation
+        assert "sink json.dumps at rpl008_cases.py:35" in hit.explanation
+
+        per_line = lint_fixture(
+            "rpl008_cases.py", rules=rules_by_code(["RPL001"])
+        )
+        rpl001_lines = {
+            f.line for f in per_line.findings if f.code == "RPL001"
+        }
+        assert 19 in rpl001_lines  # RPL001 sees the source line...
+        assert hit.line not in rpl001_lines  # ...but not the sink crossing
+
+    def test_rpl008_sink_behind_a_parameter(self):
+        """``persist(doc)`` anchors at the *call site* passing tainted
+        data, with the sink reported inside the callee."""
+        flow = lint_fixture(
+            "rpl008_cases.py", rules=rules_by_code(["RPL008"])
+        )
+        hit = next(f for f in flow.findings if "persist(" in f.content)
+        assert hit.line == 40
+        assert "os.getpid (rpl008_cases.py:39)" in hit.message
+        assert "sink json.dumps (rpl008_cases.py:29)" in hit.message
+        assert "into rpl008_cases.persist()" in hit.explanation
+
+    def test_rpl009_violation_shapes(self):
+        report = lint_fixture(
+            "rpl009_cases.py", rules=rules_by_code(["RPL009"])
+        )
+        messages = sorted(f.message for f in report.findings)
+        assert messages == [
+            "STATUS frame literal has key(s) outside the schema: statu",
+            "SUBMIT frame literal is missing required key(s): job",
+            "frame literal has unknown type 'SUBMITT' (known: "
+            "CLUSTER_EVENT, DRAIN, DRAINED, ERROR, METRICS, OK, STATUS, "
+            "SUBMIT)",
+        ]
+
+    def test_rpl010_escape_chain_and_containment(self):
+        report = lint_fixture(
+            "rpl010_cases.py", rules=rules_by_code(["RPL010"])
+        )
+        (hit,) = report.findings
+        # Only the armed, unguarded entry is flagged; the guarded and the
+        # disarmed entries stay silent.
+        assert "positive_entry()" in hit.message
+        assert "fault seam 'fixture-seam' (rpl010_cases.py:17)" in hit.message
+        assert (
+            "armed seam 'fixture-seam' at rpl010_cases.py:17"
+            in hit.explanation
+        )
+        assert (
+            "escapes through call to rpl010_cases.seam_site()"
+            in hit.explanation
+        )
+        assert (
+            "reaches entry point rpl010_cases.positive_entry() uncontained"
+            in hit.explanation
+        )
+
+    def test_explanation_is_not_part_of_finding_identity(self):
+        """Baseline/ordering identity must ignore the explanation payload
+        or every dataflow refinement would churn the committed baseline."""
+        a = Finding(
+            path="m.py", line=1, col=1, code="RPL008",
+            message="msg", content="c", explanation="trail A",
+        )
+        b = Finding(
+            path="m.py", line=1, col=1, code="RPL008",
+            message="msg", content="c", explanation="trail B",
+        )
+        assert a == b
+        assert not a < b and not b < a
+
+
+class TestFrameSchemas:
+    """``protocol.FRAME_SCHEMAS`` and its runtime companion."""
+
+    def test_every_schema_requires_the_type_key(self):
+        from repro.service import protocol
+
+        for frame_type, (required, optional) in sorted(
+            protocol.FRAME_SCHEMAS.items()
+        ):
+            assert "type" in required, frame_type
+            assert not (required & optional), frame_type
+
+    def test_validate_frame_matches_static_verdicts(self):
+        from repro.service import protocol
+
+        assert protocol.validate_frame({"type": protocol.STATUS}) == []
+        assert protocol.validate_frame(
+            {"type": protocol.STATUS, "status": "idle"}
+        ) == []
+        assert protocol.validate_frame({"type": "NOPE"}) == [
+            "unknown frame type 'NOPE'"
+        ]
+        assert protocol.validate_frame(
+            {"type": protocol.SUBMIT, "jbo": {}}
+        ) == ["missing required key 'job'", "unexpected key 'jbo'"]
 
 
 # ----------------------------------------------------------------------
@@ -343,6 +526,124 @@ class TestEngineDeterminism:
 
 
 # ----------------------------------------------------------------------
+# Call graph and summary cache (the whole-program substrate)
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    def test_same_tree_yields_identical_sorted_json(self):
+        from repro.statics import Project, collect_files
+
+        docs = []
+        for _ in range(2):
+            project = Project.build(
+                FIXTURES, collect_files(FIXTURES, (".",))
+            )
+            docs.append(
+                json.dumps(project.call_graph_dict(), allow_nan=False)
+            )
+        assert docs[0] == docs[1]
+        doc = json.loads(docs[0])
+        functions = doc["functions"]
+        assert list(functions) == sorted(functions)
+        for row in functions.values():
+            assert row["calls"] == sorted(row["calls"])
+
+    def test_resolves_project_internal_edges(self):
+        from repro.statics import Project, collect_files
+
+        project = Project.build(FIXTURES, collect_files(FIXTURES, (".",)))
+        functions = project.call_graph_dict()["functions"]
+        assert (
+            "rpl010_cases.seam_site"
+            in functions["rpl010_cases.middle"]["calls"]
+        )
+
+    def test_resolves_package_reexports(self):
+        """``from repro.experiments import execute_run`` resolves through
+        the package ``__init__`` to the defining module — the edge RPL010
+        needs to follow a fault from the runner up to the CLI entry."""
+        from repro.statics import Project, collect_files
+
+        project = Project.build(
+            REPO_ROOT,
+            collect_files(
+                REPO_ROOT,
+                ("src/repro/cli.py", "src/repro/experiments"),
+            ),
+        )
+        functions = project.call_graph_dict()["functions"]
+        assert (
+            "repro.experiments.runner.execute_run"
+            in functions["repro.cli._contained_execute"]["calls"]
+        )
+
+
+class TestSummaryCache:
+    CLEAN = "def helper():\n    return 1\n"
+    TAINTED = (
+        "import json\n"
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+        "\n"
+        "\n"
+        "def emit():\n"
+        '    return json.dumps({"t": stamp()}, allow_nan=False)\n'
+    )
+
+    def _build(self, root, cache):
+        from repro.statics import Project, collect_files
+
+        return Project.build(
+            root, collect_files(root, (".",)), cache_path=cache
+        )
+
+    def test_warm_run_hits_and_edit_invalidates(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        other = tmp_path / "other.py"
+        mod.write_text(self.TAINTED)
+        other.write_text(self.CLEAN)
+        cache = tmp_path / "cache" / "summaries.json"
+
+        cold = self._build(tmp_path, cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+        cold_hits = [h.sort_key() for h in cold.flow_hits()]
+        assert len(cold_hits) == 1  # stamp() -> json.dumps crosses a call
+
+        warm = self._build(tmp_path, cache)
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+        assert [h.sort_key() for h in warm.flow_hits()] == cold_hits
+
+        # Editing one file invalidates exactly that file's entry...
+        other.write_text("def helper():\n    return 2\n")
+        edited = self._build(tmp_path, cache)
+        assert (edited.cache_hits, edited.cache_misses) == (1, 1)
+        assert [h.sort_key() for h in edited.flow_hits()] == cold_hits
+
+        # ...and an edit that changes the facts changes the verdict.
+        mod.write_text(self.TAINTED.replace("time.time()", "0.0"))
+        fixed = self._build(tmp_path, cache)
+        assert (fixed.cache_hits, fixed.cache_misses) == (1, 1)
+        assert fixed.flow_hits() == []
+
+    def test_version_mismatch_discards_cache(self, tmp_path):
+        from repro.statics.dataflow import load_summary_cache
+
+        cache = tmp_path / "summaries.json"
+        (tmp_path / "mod.py").write_text(self.CLEAN)
+        self._build(tmp_path, cache)
+        assert load_summary_cache(cache) != {}
+
+        doc = json.loads(cache.read_text())
+        doc["facts_version"] = -1
+        cache.write_text(json.dumps(doc))
+        assert load_summary_cache(cache) == {}
+        rebuilt = self._build(tmp_path, cache)
+        assert (rebuilt.cache_hits, rebuilt.cache_misses) == (0, 1)
+
+
+# ----------------------------------------------------------------------
 # CLI surface
 # ----------------------------------------------------------------------
 class TestLintCli:
@@ -389,7 +690,7 @@ class TestLintCli:
         out = capsys.readouterr().out
         assert rc == 0
         for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
-                     "RPL006", "RPL007"):
+                     "RPL006", "RPL007", "RPL008", "RPL009", "RPL010"):
             assert code in out
 
     def test_report_artifact(self, tmp_path, capsys):
@@ -437,6 +738,121 @@ class TestLintCli:
         baseline = json.loads((tmp_path / DEFAULT_BASELINE).read_text())
         assert baseline["findings"] == []
         assert main([*argv, "--check-baseline"]) == 0
+
+    def test_paths_subset_reports_without_baseline(self, capsys):
+        """--paths lints just the named files and never consults (or
+        writes) the baseline: findings always report as new."""
+        rc = main(
+            [
+                "lint",
+                "--root", str(FIXTURES),
+                "--paths", "rpl009_cases.py",
+                "--select", "RPL009",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "3 new finding(s)" in out
+
+    def test_paths_refuses_baseline_operations(self, capsys):
+        for flag in ("--check-baseline", "--update-baseline"):
+            rc = main(
+                [
+                    "lint",
+                    "--root", str(FIXTURES),
+                    "--paths", "rpl009_cases.py",
+                    flag,
+                ]
+            )
+            assert rc == 2, flag
+
+    def test_call_graph_artifact_is_deterministic(self, tmp_path, capsys):
+        argv = [
+            "lint",
+            "--root", str(FIXTURES),
+            "--no-baseline",
+            "--select", "RPL010",
+            "rpl010_cases.py",
+        ]
+        graphs = []
+        for name in ("first.json", "second.json"):
+            out = tmp_path / name
+            assert main([*argv, "--call-graph", str(out)]) == 1
+            graphs.append(out.read_bytes())
+        assert graphs[0] == graphs[1]
+        doc = json.loads(graphs[0])
+        functions = doc["functions"]
+        assert list(functions) == sorted(functions)
+        assert (
+            "rpl010_cases.seam_site"
+            in functions["rpl010_cases.middle"]["calls"]
+        )
+
+    def test_call_graph_without_project_rules_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        rc = main(
+            [
+                "lint",
+                "--root", str(FIXTURES),
+                "--no-baseline",
+                "--select", "RPL001",
+                "--call-graph", str(tmp_path / "graph.json"),
+                "rpl001_cases.py",
+            ]
+        )
+        assert rc == 2
+
+    def test_explain_prints_the_taint_path(self, capsys):
+        rc = main(
+            [
+                "lint",
+                "--root", str(FIXTURES),
+                "--no-baseline",
+                "--select", "RPL008",
+                "--explain", "RPL008:rpl008_cases.py:35",
+                "rpl008_cases.py",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "source time.time at rpl008_cases.py:19" in out
+        assert "through rpl008_cases.launder()" in out
+        assert "sink json.dumps at rpl008_cases.py:35" in out
+
+    def test_explain_unmatched_location_fails(self, capsys):
+        rc = main(
+            [
+                "lint",
+                "--root", str(FIXTURES),
+                "--no-baseline",
+                "--select", "RPL008",
+                "--explain", "RPL008:rpl008_cases.py:1",
+                "rpl008_cases.py",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "no finding RPL008 at rpl008_cases.py:1" in out
+
+    def test_explain_malformed_spec_is_usage_error(self, capsys):
+        rc = main(["lint", "--explain", "RPL008-rpl008_cases.py-35"])
+        assert rc == 2
+
+    def test_summary_cache_round_trip(self, tmp_path, capsys):
+        cache = tmp_path / "summaries.json"
+        argv = [
+            "lint",
+            "--root", str(FIXTURES),
+            "--no-baseline",
+            "--select", "RPL010",
+            "--summary-cache", str(cache),
+            "rpl010_cases.py",
+        ]
+        assert main(argv) == 1
+        first = cache.read_bytes()
+        assert main(argv) == 1
+        assert cache.read_bytes() == first
 
 
 # ----------------------------------------------------------------------
@@ -501,10 +917,59 @@ class TestFixedViolationsStayFixed:
         ],
     )
     def test_fixed_file_stays_clean(self, rel):
+        # Subset lint with whole-tree project context — the same
+        # semantics as ``repro lint --paths`` (a file's RPL010 verdict
+        # depends on its callers, which a one-file project cannot see).
         report = run_lint(
-            root=REPO_ROOT, targets=(rel,), baseline=Counter()
+            root=REPO_ROOT,
+            targets=(rel,),
+            project_targets=DEFAULT_TARGETS,
+            baseline=Counter(),
         )
         assert [f.format() for f in report.new] == []
+
+    def test_cli_entry_points_contain_injected_faults(self):
+        """RPL010: ``cmd_simulate``/``cmd_compare`` must catch
+        :class:`InjectedFault` escaping ``execute_run`` and convert it to
+        an incident record + exit 3.  Linting the CLI together with the
+        modules that define the seams re-creates the original findings if
+        the containment handler is ever removed."""
+        report = run_lint(
+            root=REPO_ROOT,
+            targets=(
+                "src/repro/cli.py",
+                "src/repro/experiments",
+                "src/repro/faults",
+            ),
+            baseline=Counter(),
+        )
+        assert [f.format() for f in report.new] == []
+
+    def test_simulate_converts_injected_fault_to_incident_record(
+        self, capsys
+    ):
+        # The behavioral half of the RPL010 fix: a run killed by an
+        # injected fault prints a deterministic incident record and exits
+        # 3 instead of dying with a raw traceback.
+        rc = main(
+            [
+                "simulate",
+                "--policy", "rubick",
+                "--jobs", "2",
+                "--seed", "0",
+                "--faults", "chaos-smoke",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 3
+        assert "run terminated by injected fault" in out
+        record = json.loads(out.partition("incident record:")[2])
+        assert record["error"] == "InjectedCrash"
+        assert "seam=worker-crash" in record["message"]
+        # The digest hashes frame coordinates: stable across invocations
+        # (asserted elsewhere), but not pinnable against unrelated edits.
+        assert len(record["traceback_digest"]) == 12
+        assert set(record["traceback_digest"]) <= set("0123456789abcdef")
 
     def test_run_store_rejects_nan_meta(self, tmp_path):
         # allow_nan=False is live, not decorative: a NaN that reaches a
